@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures, records the
+headline numbers in ``extra_info`` (visible in ``pytest-benchmark``'s
+output and JSON), prints the same rows the paper reports, and asserts the
+claims that define the figure's shape.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def cfg() -> ExperimentConfig:
+    return ExperimentConfig(scale=128)
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer (these are
+    second-scale simulations; statistical rounds would waste minutes)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,91 @@
+"""Core-engine micro-benchmarks: simulator throughput, trace generation,
+fusion solvers, and the machine-balance measurement methodology."""
+
+import numpy as np
+import pytest
+
+from conftest import once
+
+from repro.balance import measure_cachebench, measure_stream
+from repro.fusion import greedy_partitioning, optimal_partitioning
+from repro.interp import execute
+from repro.machine import Hierarchy
+from repro.programs import make_kernel
+from repro.trace import generate_trace
+
+
+def test_bench_cache_simulator_throughput(benchmark, cfg):
+    """Accesses/second through the two-level hierarchy (the cost driver of
+    every experiment)."""
+    machine = cfg.origin
+    rng = np.random.default_rng(1)
+    addrs = (rng.integers(0, 1 << 20, size=200_000) * 8).astype(np.int64)
+    writes = rng.random(200_000) < 0.3
+
+    def run():
+        h = Hierarchy.from_spec(machine)
+        h.run_trace(addrs, writes)
+        return h.result()
+
+    result = benchmark(run)
+    benchmark.extra_info["accesses"] = len(addrs)
+    assert result.level_stats[0].accesses == len(addrs)
+
+
+def test_bench_trace_generation(benchmark, cfg):
+    """Vectorized trace generation rate (addresses/second)."""
+    prog = make_kernel("2w5r", cfg.stream_elements())
+    trace = benchmark(lambda: generate_trace(prog))
+    benchmark.extra_info["trace_length"] = len(trace)
+
+
+def test_bench_execute_kernel(benchmark, cfg):
+    """End-to-end: one kernel through trace + hierarchy + timing."""
+    prog = make_kernel("1w2r", cfg.stream_elements())
+    run = benchmark(lambda: execute(prog, cfg.origin))
+    benchmark.extra_info["simulated_ms"] = round(run.seconds * 1e3, 3)
+
+
+def test_bench_stream_analog(benchmark, cfg):
+    res = once(benchmark, lambda: measure_stream(cfg.origin))
+    print()
+    print(res.describe())
+    assert res.best == pytest.approx(cfg.origin.memory_bandwidth, rel=0.02)
+
+
+def test_bench_cachebench_analog(benchmark, cfg):
+    res = once(benchmark, lambda: measure_cachebench(cfg.origin))
+    print()
+    print(res.describe())
+    assert len(res.bandwidths) == 3
+
+
+@pytest.mark.parametrize("n_loops", [6, 9, 12])
+def test_bench_exact_fusion_solver(benchmark, n_loops):
+    """The exponential exact solver's practical range."""
+    rng = np.random.default_rng(n_loops)
+    arrays = list("ABCDEFGH")
+    node_arrays = [
+        set(rng.choice(arrays, size=3, replace=False)) for _ in range(n_loops)
+    ]
+    from repro.fusion import FusionGraph
+
+    g = FusionGraph.build(node_arrays, preventing=[(0, n_loops - 1)])
+    sol = benchmark(lambda: optimal_partitioning(g))
+    benchmark.extra_info["cost"] = sol.cost
+
+
+def test_bench_greedy_fusion_scales(benchmark):
+    """The polynomial heuristic on a 60-loop graph."""
+    rng = np.random.default_rng(9)
+    arrays = [f"arr{i}" for i in range(20)]
+    node_arrays = [
+        set(rng.choice(arrays, size=3, replace=False)) for _ in range(60)
+    ]
+    preventing = [(i, i + 15) for i in range(0, 45, 15)]
+    from repro.fusion import FusionGraph, is_legal
+
+    g = FusionGraph.build(node_arrays, preventing=preventing)
+    sol = benchmark(lambda: greedy_partitioning(g))
+    assert is_legal(g, sol.partitioning)
+    benchmark.extra_info["groups"] = sol.partitioning.n_groups

@@ -1,0 +1,27 @@
+"""Figure 4 — bandwidth-minimal vs edge-weighted fusion counterexample."""
+
+from conftest import once
+
+from repro.experiments import run_fig4
+
+
+def test_bench_fig4_fusion(benchmark, cfg):
+    result = once(benchmark, lambda: run_fig4(cfg))
+    print()
+    print(result.table().render())
+
+    # the exact numbers of the paper's example
+    assert result.no_fusion_cost == 20
+    assert result.optimal_cost == 7
+    assert result.edge_weighted_bandwidth_cost == 8
+    assert result.edge_weighted_cross == 2
+    assert result.optimal_edge_weight == 3
+    # simulated traffic ranks the same way
+    m = result.memory_bytes
+    assert m["none"] > m["edge"] > m["bandwidth"]
+    benchmark.extra_info["array_loads"] = {
+        "none": result.no_fusion_cost,
+        "bandwidth_minimal": result.optimal_cost,
+        "edge_weighted": result.edge_weighted_bandwidth_cost,
+    }
+    benchmark.extra_info["simulated_mem_bytes"] = dict(m)

@@ -1,0 +1,29 @@
+"""Section 2.1 — the motivating example: the write loop takes ~2x the
+read loop, on both machines, because bandwidth (not latency) governs."""
+
+import pytest
+
+from conftest import once
+
+from repro.interp import execute
+from repro.programs import sec21_read_loop, sec21_write_loop
+
+
+def test_bench_sec21_write_vs_read(benchmark, cfg):
+    def run():
+        out = {}
+        for machine in (cfg.origin, cfg.exemplar):
+            n = cfg.stream_elements(machine)
+            w = execute(sec21_write_loop(n), machine)
+            r = execute(sec21_read_loop(n), machine)
+            out[machine.name] = (w.seconds, r.seconds)
+        return out
+
+    result = once(benchmark, run)
+    print()
+    for machine, (w, r) in result.items():
+        ratio = w / r
+        print(f"  {machine}: write {w * 1e3:.3f} ms, read {r * 1e3:.3f} ms, ratio {ratio:.2f}")
+        # paper: 0.104/0.054 = 1.93 on Origin, 0.055/0.036 = 1.53 on Exemplar
+        assert ratio == pytest.approx(2.0, rel=0.15)
+        benchmark.extra_info[machine] = round(ratio, 3)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Machine designer: why latency tolerance cannot beat bandwidth.
+
+The paper's closing warning — "future systems will have even worse
+balance" — made concrete: design machines with ever faster CPUs over the
+same memory system, measure a fixed workload on each, and watch the
+utilization ceiling collapse. Then sweep the latency-tolerance knob
+(outstanding misses) on one machine and see the execution time floor out
+at the bandwidth bound: "memory latency cannot be fully tolerated without
+infinite bandwidth."
+"""
+
+from repro.balance import demand_supply_ratios, program_balance
+from repro.interp import execute
+from repro.machine import future_machine, origin2000, overlap_time
+from repro.programs import make_kernel
+
+
+def main() -> None:
+    n = 32768
+    program = make_kernel("1w2r", n)
+
+    print("== generations of machines, same memory system ==")
+    machines = [origin2000(scale=64)] + [
+        future_machine(cpu, scale=64) for cpu in (2.0, 4.0, 8.0, 16.0)
+    ]
+    for machine in machines:
+        run = execute(program, machine)
+        balance = program_balance(run)
+        ratios = demand_supply_ratios(balance, machine)
+        print(
+            f"  {machine.name:<12} machine balance "
+            f"{machine.balance[-1]:5.3f} B/flop  "
+            f"memory ratio {ratios.ratios[-1]:6.1f}  "
+            f"CPU ceiling {ratios.cpu_utilization_bound:6.1%}  "
+            f"time {run.seconds * 1e3:7.3f} ms"
+        )
+    print()
+    print("faster CPUs change nothing: the kernel's time is pinned by the")
+    print("memory channel, and the utilization ceiling keeps dropping.")
+    print()
+
+    print("== latency tolerance sweep (Origin, 1w2r) ==")
+    machine = origin2000(scale=64)
+    run = execute(program, machine)
+    misses = [st.misses for st in run.counters.level_stats]
+    bw_floor = run.seconds
+    for outstanding in (1, 2, 4, 8, 16, 64, 1024):
+        t = overlap_time(
+            machine,
+            run.counters.graduated_flops,
+            run.counters.register_bytes,
+            run.counters.downstream_bytes,
+            misses,
+            outstanding,
+        )
+        marker = "  <- bandwidth floor" if abs(t - bw_floor) < 1e-9 else ""
+        print(f"  {outstanding:>5} outstanding misses: {t * 1e3:8.3f} ms{marker}")
+    print()
+    print(f"no amount of overlap beats {bw_floor * 1e3:.3f} ms — the bandwidth bound.")
+
+
+if __name__ == "__main__":
+    main()

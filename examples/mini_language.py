@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The textual mini-language: write a loop program as text, optimize it,
+and diff the generated code.
+
+Useful when experimenting with the transformations on programs that are
+easier to write as source than through the builder API.
+"""
+
+from repro.interp import evaluate, execute
+from repro.lang import parse, render
+from repro.machine import origin2000
+from repro.transforms import optimize
+
+SOURCE = """\
+program smooth(N=32768)
+array noisy[N]
+array smooth1[N]
+array weight[N]
+scalar energy out
+
+for i = 1, N - 1 {
+  smooth1[i] = (noisy[i - 1] + (2 * noisy[i] + noisy[i + 1])) * 0.25
+}
+for i = 1, N - 1 {
+  smooth1[i] = smooth1[i] * weight[i]
+}
+for i = 1, N - 1 {
+  energy = energy + (smooth1[i] * smooth1[i])
+}
+"""
+
+
+def main() -> None:
+    program = parse(SOURCE)
+    print("== input ==")
+    print(render(program))
+
+    result = optimize(program)
+    print("== pipeline ==")
+    print(result.describe())
+    print()
+    print("== output ==")
+    print(render(result.final))
+
+    reference = evaluate(program, {"N": 256})
+    transformed = evaluate(result.final, {"N": 256})
+    assert abs(reference.scalars["energy"] - transformed.scalars["energy"]) < 1e-9
+    print(f"energy (N=256): {transformed.scalars['energy']:.6f}  [matches original]")
+    print()
+
+    machine = origin2000(scale=64)
+    before = execute(program, machine)
+    after = execute(result.final, machine)
+    print(f"before: {before.describe()}")
+    print(f"after : {after.describe()}")
+    print(f"speedup: {before.seconds / after.seconds:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

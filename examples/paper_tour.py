@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""A guided tour of the paper, experiment by experiment.
+
+Runs every reproduction experiment in the paper's narrative order with a
+one-paragraph explanation before each table — the whole IPPS 2000 story
+in one sitting (about half a minute of simulation).
+"""
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_e9,
+    run_e10,
+    run_e11,
+    run_e12,
+    run_e13,
+    run_e14,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig8,
+)
+from repro.experiments.charts import fig3_chart
+
+NARRATION = {
+    "fig1": (
+        "Part 1 — the bottleneck. Balance = bytes moved per flop. Every\n"
+        "application demands far more memory bandwidth (last column) than\n"
+        "the machine's 0.8 B/flop; only blocked matrix multiply fits."
+    ),
+    "fig2": (
+        "Dividing demand by supply bounds CPU utilization: the memory\n"
+        "column is the biggest ratio for every program, so 80-93% of the\n"
+        "CPU can do nothing but wait."
+    ),
+    "fig3": (
+        "Is the limited bandwidth even saturated? Yes: twelve stride-one\n"
+        "kernels all hit the machine's ceiling on the Origin; on the\n"
+        "direct-mapped Exemplar the six-array kernel 3w6r conflicts with\n"
+        "itself (the paper's footnote 3) — and one line of padding fixes it."
+    ),
+    "fig4": (
+        "Part 2 — the compiler's answer. Fusion should minimize the number\n"
+        "of distinct arrays per fused partition; the prior edge-weighted\n"
+        "objective picks a different partition and moves more data."
+    ),
+    "fig5": (
+        "Two-way fusion is polynomial: hyperedge min-cut via max-flow.\n"
+        "Cubic-ish in arrays, linear in loops, as the paper claims."
+    ),
+    "fig6": (
+        "After fusion, live ranges collapse: shrinking and peeling turn two\n"
+        "N-squared arrays into two N-vectors plus two scalars. Our pipeline\n"
+        "derives the figure's hand-optimized code mechanically (last row)."
+    ),
+    "fig8": (
+        "Store elimination removes writebacks to arrays that die inside\n"
+        "their producing loop — with fusion, about 2x on both machines."
+    ),
+    "e9": (
+        "General multi-way fusion is NP-complete (reduction from k-way\n"
+        "cut); both sides of the reduction agree on every random instance."
+    ),
+    "e10": (
+        "The mm(-O2) -> mm(-O3) collapse, decomposed: tile-size sweep plus\n"
+        "a scalar-replacement toggle."
+    ),
+    "e11": (
+        "Saturation holds for full applications: 5 of the miniature SP's 7\n"
+        "subroutines run at >= 84% of memory bandwidth."
+    ),
+    "e12": ("The whole strategy on a five-loop chain, stage by stage."),
+    "e13": (
+        "Coda (the paper's related-work claims, measured): even a\n"
+        "clairvoyant Belady-optimal cache saves at most tens of percent;\n"
+        "transforming the program saves 2x on the same workload."
+    ),
+    "e14": (
+        "And transformations don't just approach the intrinsic traffic\n"
+        "floor — they lower the floor itself."
+    ),
+}
+
+RUNNERS = {
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": lambda cfg: run_fig5(),
+    "fig6": run_fig6,
+    "fig8": run_fig8,
+    "e9": lambda cfg: run_e9(),
+    "e10": run_e10,
+    "e11": run_e11,
+    "e12": run_e12,
+    "e13": run_e13,
+    "e14": run_e14,
+}
+
+
+def main() -> None:
+    cfg = ExperimentConfig()
+    print("Ding & Kennedy, 'The Memory Bandwidth Bottleneck and its")
+    print("Amelioration by a Compiler' (IPPS 2000) — the full tour.\n")
+    for key, runner in RUNNERS.items():
+        print("-" * 72)
+        print(NARRATION[key])
+        print()
+        result = runner(cfg)
+        print(result.table().render())
+        if key == "fig3":
+            print()
+            print(fig3_chart(result))
+        print()
+
+
+if __name__ == "__main__":
+    main()

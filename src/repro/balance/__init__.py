@@ -1,0 +1,49 @@
+"""The bandwidth-based performance model (paper section 2)."""
+
+from .cachebench import CacheBenchResult, measure_cachebench
+from .intrinsic import (
+    IntrinsicTraffic,
+    bandwidth_headroom,
+    intrinsic_balance,
+    intrinsic_traffic,
+)
+from .model import (
+    BalanceRatios,
+    ProgramBalance,
+    aggregate_balance,
+    bandwidth_utilization,
+    demand_supply_ratios,
+    machine_balance,
+    program_balance,
+    required_memory_bandwidth,
+)
+from .prediction import (
+    Prediction,
+    predict_speedup,
+    predict_time,
+    utilization_bound_from_balance,
+)
+from .stream import StreamResult, measure_stream
+
+__all__ = [
+    "BalanceRatios",
+    "CacheBenchResult",
+    "IntrinsicTraffic",
+    "Prediction",
+    "ProgramBalance",
+    "StreamResult",
+    "aggregate_balance",
+    "bandwidth_headroom",
+    "bandwidth_utilization",
+    "demand_supply_ratios",
+    "intrinsic_balance",
+    "intrinsic_traffic",
+    "machine_balance",
+    "measure_cachebench",
+    "measure_stream",
+    "predict_speedup",
+    "predict_time",
+    "program_balance",
+    "required_memory_bandwidth",
+    "utilization_bound_from_balance",
+]

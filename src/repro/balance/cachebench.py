@@ -1,0 +1,67 @@
+"""CacheBench analog: measure cache-level bandwidth of a simulated machine.
+
+The paper measured cache bandwidth with CacheBench [ref 9]: a read-modify-
+write sweep over a working set sized to sit inside a chosen cache level,
+repeated so the steady state dominates. We reproduce the method: warm the
+working set, then time repeated passes and report bytes moved per second on
+the register channel (working set in L1) or the L1<->L2 channel (working
+set in L2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineError
+from ..interp.executor import execute
+from ..lang.builder import ProgramBuilder
+from ..lang.program import Program
+from ..machine.spec import MachineSpec
+
+
+def _sweep_program(n: int) -> Program:
+    b = ProgramBuilder("cachebench_rmw", params={"N": n})
+    a = b.array("a", "N", output=True)
+    with b.loop("i", 0, "N") as i:
+        b.assign(a[i], a[i] * 1.5 + 0.5)
+    return b.build()
+
+
+@dataclass(frozen=True)
+class CacheBenchResult:
+    """Measured bandwidth per hierarchy channel (bytes/second)."""
+
+    machine: str
+    channel_names: tuple[str, ...]
+    bandwidths: tuple[float, ...]
+
+    def describe(self) -> str:
+        cols = ", ".join(
+            f"{n}={bw / 1e6:.0f} MB/s" for n, bw in zip(self.channel_names, self.bandwidths)
+        )
+        return f"CacheBench[{self.machine}]: {cols}"
+
+
+def measure_cachebench(spec: MachineSpec, passes: int = 4) -> CacheBenchResult:
+    """Measure the register channel and each cache-fit level.
+
+    For channel k (0 = registers), the working set is sized to half of the
+    cache at level k (so it is fully resident there) and the reported rate
+    is the traffic on channel k divided by simulated time.
+    """
+    if passes < 1:
+        raise MachineError("passes must be >= 1")
+    bandwidths: list[float] = []
+    # Register channel: working set inside L1.
+    for level in range(len(spec.cache_levels) + 1):
+        cache_idx = min(level, len(spec.cache_levels) - 1)
+        geom = spec.cache_levels[cache_idx].geometry
+        if level < len(spec.cache_levels):
+            n = max(64, geom.size_bytes // 2 // 8)  # fits in cache `level`
+        else:
+            n = max(1024, geom.size_bytes * 4 // 8)  # memory regime
+        prog = _sweep_program(n)
+        run = execute(prog, spec, warmup_passes=1, passes=passes, flush=False)
+        traffic = run.counters.channel_bytes[level]
+        bandwidths.append(traffic / run.seconds if run.seconds else 0.0)
+    return CacheBenchResult(spec.name, spec.level_names, tuple(bandwidths))

@@ -1,0 +1,144 @@
+"""The balance performance model (paper §2.2).
+
+*Program balance*: bytes the program must transfer per flop at every memory
+hierarchy level. *Machine balance*: bytes the machine can transfer per flop
+at peak. Demand over supply bounds CPU utilization:
+
+    utilization <= 1 / max_level(program_balance / machine_balance)
+
+These three quantities are Figures 1 and 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ReproError
+from ..interp.executor import MachineRun
+from ..machine.spec import MachineSpec
+
+
+@dataclass(frozen=True)
+class ProgramBalance:
+    """Bytes per flop demanded by a program at each channel."""
+
+    program: str
+    channel_names: tuple[str, ...]
+    bytes_per_flop: tuple[float, ...]
+    flops: int
+    channel_bytes: tuple[int, ...]
+
+    @property
+    def memory_balance(self) -> float:
+        """The last channel (cache <-> memory), the paper's headline column."""
+        return self.bytes_per_flop[-1]
+
+    def describe(self) -> str:
+        cols = "  ".join(
+            f"{n}={b:.2f}" for n, b in zip(self.channel_names, self.bytes_per_flop)
+        )
+        return f"{self.program}: {cols} (B/flop)"
+
+
+@dataclass(frozen=True)
+class BalanceRatios:
+    """Demand/supply ratios of one program on one machine (Figure 2 rows)."""
+
+    program: str
+    machine: str
+    channel_names: tuple[str, ...]
+    ratios: tuple[float, ...]
+
+    @property
+    def max_ratio(self) -> float:
+        return max(self.ratios)
+
+    @property
+    def limiting_channel(self) -> str:
+        idx = max(range(len(self.ratios)), key=lambda i: self.ratios[i])
+        return self.channel_names[idx]
+
+    @property
+    def cpu_utilization_bound(self) -> float:
+        """The paper's bound: a ratio of R at any level caps utilization at
+        1/R (100% when no channel is oversubscribed)."""
+        return min(1.0, 1.0 / self.max_ratio) if self.max_ratio > 0 else 1.0
+
+    def describe(self) -> str:
+        cols = "  ".join(
+            f"{n}={r:.1f}" for n, r in zip(self.channel_names, self.ratios)
+        )
+        return (
+            f"{self.program} on {self.machine}: {cols} "
+            f"(CPU utilization <= {self.cpu_utilization_bound:.1%})"
+        )
+
+
+def program_balance(run: MachineRun) -> ProgramBalance:
+    """Program balance from a measured run (counter-derived, like the paper)."""
+    flops = run.counters.graduated_flops
+    if flops <= 0:
+        raise ReproError(f"{run.program}: cannot compute balance without flops")
+    channel_bytes = run.counters.channel_bytes
+    return ProgramBalance(
+        program=run.program,
+        channel_names=run.machine.level_names,
+        bytes_per_flop=tuple(b / flops for b in channel_bytes),
+        flops=flops,
+        channel_bytes=channel_bytes,
+    )
+
+
+def machine_balance(spec: MachineSpec) -> tuple[float, ...]:
+    """Machine balance straight from the specification (Figure 1 last row)."""
+    return spec.balance
+
+
+def demand_supply_ratios(balance: ProgramBalance, spec: MachineSpec) -> BalanceRatios:
+    """Figure 2: divide program balance by machine balance, per channel."""
+    supply = spec.balance
+    if len(supply) != len(balance.bytes_per_flop):
+        raise ReproError(
+            f"{balance.program}: balance has {len(balance.bytes_per_flop)} channels, "
+            f"machine {spec.name} has {len(supply)}"
+        )
+    return BalanceRatios(
+        program=balance.program,
+        machine=spec.name,
+        channel_names=balance.channel_names,
+        ratios=tuple(d / s for d, s in zip(balance.bytes_per_flop, supply)),
+    )
+
+
+def required_memory_bandwidth(ratios: BalanceRatios, spec: MachineSpec) -> float:
+    """Bandwidth the machine would need to remove the memory bottleneck
+    (the paper's '1.02 GB/s to 3.15 GB/s' argument): current memory
+    bandwidth times the memory-level demand/supply ratio."""
+    return spec.memory_bandwidth * ratios.ratios[-1]
+
+
+def bandwidth_utilization(run: MachineRun) -> float:
+    """Fraction of the machine's memory bandwidth the run actually used —
+    the paper's §2.3 saturation measurement (NAS/SP: >=84% for 5 of 7
+    subroutines)."""
+    return run.effective_bandwidth / run.machine.memory_bandwidth
+
+
+def aggregate_balance(balances: Sequence[ProgramBalance], name: str) -> ProgramBalance:
+    """Whole-program balance from per-phase balances (byte- and
+    flop-weighted, not averaged)."""
+    if not balances:
+        raise ReproError("no balances to aggregate")
+    names = balances[0].channel_names
+    flops = sum(b.flops for b in balances)
+    channel_bytes = tuple(
+        sum(b.channel_bytes[i] for b in balances) for i in range(len(names))
+    )
+    return ProgramBalance(
+        program=name,
+        channel_names=names,
+        bytes_per_flop=tuple(c / flops for c in channel_bytes),
+        flops=flops,
+        channel_bytes=channel_bytes,
+    )

@@ -1,0 +1,71 @@
+"""Bandwidth-based performance prediction (Ding's dissertation, cited §4).
+
+The balance model doubles as a predictor: measure a program's counters
+once (flops + bytes per channel), then predict its execution time on any
+machine whose per-channel bandwidths are known:
+
+    T(machine) = max( flops / peak, bytes_c / bandwidth_c  for channels c )
+
+The prediction is exact across machines that share cache geometry (the
+byte counts are a property of program x geometry) — e.g. across CPU
+generations over the same memory system — and approximate across machines
+with different caches (miss counts shift). Experiment E15 quantifies both
+cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..machine.spec import MachineSpec
+from .model import ProgramBalance
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A cross-machine time prediction from one measured balance."""
+
+    program: str
+    machine: str
+    seconds: float
+    bound: str
+
+
+def predict_time(balance: ProgramBalance, target: MachineSpec) -> Prediction:
+    """Predict ``balance``'s program on ``target`` from counters alone."""
+    if len(balance.channel_bytes) != target.n_levels:
+        raise ReproError(
+            f"{balance.program}: measured {len(balance.channel_bytes)} channels, "
+            f"target machine {target.name} has {target.n_levels}"
+        )
+    flop_time = balance.flops / target.peak_flops
+    times = [b / bw for b, bw in zip(balance.channel_bytes, target.bandwidths)]
+    total = max([flop_time, *times])
+    if total == flop_time:
+        bound = "cpu"
+    else:
+        bound = target.level_names[times.index(max(times))]
+    return Prediction(balance.program, target.name, total, bound)
+
+
+def predict_speedup(
+    before: ProgramBalance, after: ProgramBalance, target: MachineSpec
+) -> float:
+    """Predicted speedup of a transformation from its balance change —
+    the 'bandwidth-based performance tuning' use: decide whether a rewrite
+    is worth it without running it."""
+    t0 = predict_time(before, target).seconds
+    t1 = predict_time(after, target).seconds
+    if t1 <= 0:
+        raise ReproError("degenerate prediction")
+    return t0 / t1
+
+
+def utilization_bound_from_balance(
+    balance: ProgramBalance, target: MachineSpec
+) -> float:
+    """The CPU-utilization ceiling implied by a measured balance on a
+    target machine (Figure 2's bound, as a prediction)."""
+    p = predict_time(balance, target)
+    return min(1.0, (balance.flops / target.peak_flops) / p.seconds)

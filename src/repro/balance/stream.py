@@ -1,0 +1,73 @@
+"""STREAM analog: measure sustainable memory bandwidth of a simulated machine.
+
+McCalpin's STREAM [paper ref 8] is how the authors measured the Origin2000's
+~300 MB/s. We run the same four kernels (copy, scale, add, triad) through
+the executor with arrays several times larger than the last cache and
+report the best sustained rate, exactly as STREAM does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.builder import ProgramBuilder
+from ..lang.program import Program
+from ..interp.executor import execute
+from ..machine.spec import MachineSpec
+
+
+def _stream_program(kind: str, n: int) -> Program:
+    b = ProgramBuilder(f"stream_{kind}", params={"N": n})
+    a = b.array("a", "N", output=True)
+    bb = b.array("b", "N")
+    c = b.array("c", "N")
+    with b.loop("i", 0, "N") as i:
+        if kind == "copy":
+            b.assign(a[i], bb[i])
+        elif kind == "scale":
+            b.assign(a[i], bb[i] * 3.0)
+        elif kind == "add":
+            b.assign(a[i], bb[i] + c[i])
+        elif kind == "triad":
+            b.assign(a[i], bb[i] + c[i] * 3.0)
+        else:
+            raise ValueError(f"unknown STREAM kernel {kind!r}")
+    return b.build()
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Best-rate results of the four STREAM kernels (bytes/second)."""
+
+    machine: str
+    copy: float
+    scale: float
+    add: float
+    triad: float
+
+    @property
+    def best(self) -> float:
+        return max(self.copy, self.scale, self.add, self.triad)
+
+    def describe(self) -> str:
+        return (
+            f"STREAM[{self.machine}]: copy={self.copy / 1e6:.0f} "
+            f"scale={self.scale / 1e6:.0f} add={self.add / 1e6:.0f} "
+            f"triad={self.triad / 1e6:.0f} MB/s"
+        )
+
+
+def measure_stream(spec: MachineSpec, array_factor: int = 4, passes: int = 2) -> StreamResult:
+    """Run the STREAM kernels on ``spec``.
+
+    ``array_factor`` sizes each array to that multiple of the last cache,
+    mirroring STREAM's "much larger than cache" rule.
+    """
+    last = spec.cache_levels[-1].geometry
+    n = max(1024, array_factor * last.size_bytes // 8)
+    rates: dict[str, float] = {}
+    for kind in ("copy", "scale", "add", "triad"):
+        prog = _stream_program(kind, n)
+        run = execute(prog, spec, passes=passes)
+        rates[kind] = run.effective_bandwidth
+    return StreamResult(spec.name, rates["copy"], rates["scale"], rates["add"], rates["triad"])

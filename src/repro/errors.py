@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IRError(ReproError):
+    """Malformed IR: bad subscripts, unknown symbols, invalid structure."""
+
+
+class ParseError(ReproError):
+    """The textual mini-language could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        loc = f" at line {line}" if line is not None else ""
+        loc += f", col {col}" if col is not None else ""
+        super().__init__(f"{message}{loc}")
+
+
+class AnalysisError(ReproError):
+    """A static analysis could not produce a result for this program."""
+
+
+class MachineError(ReproError):
+    """Invalid machine configuration (cache geometry, bandwidths, layout)."""
+
+
+class ExecutionError(ReproError):
+    """The interpreter or executor failed while running a program."""
+
+
+class FusionError(ReproError):
+    """Fusion graph construction or partitioning failed."""
+
+
+class TransformError(ReproError):
+    """A transformation is not applicable to the given program."""
+
+
+class VerificationError(ReproError):
+    """A transformed program is not semantically equivalent to the original."""

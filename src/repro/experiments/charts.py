@@ -1,0 +1,82 @@
+"""Plain-text bar charts for experiment reports.
+
+The paper presents Figure 3 as bar charts; the runner can render the same
+visual with ``--charts``. No plotting dependency: bars are unicode blocks
+sized to a fixed width, with the value printed at the bar's end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+FULL = "█"
+PARTIAL = ("", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+
+
+def bar(value: float, maximum: float, width: int = 40) -> str:
+    """One bar scaled so ``maximum`` fills ``width`` characters."""
+    if maximum <= 0:
+        return ""
+    fraction = max(0.0, min(1.0, value / maximum))
+    eighths = round(fraction * width * 8)
+    full, rem = divmod(eighths, 8)
+    return FULL * full + PARTIAL[rem]
+
+
+@dataclass
+class BarChart:
+    """A labelled horizontal bar chart with one or more series."""
+
+    title: str
+    width: int = 40
+    unit: str = ""
+    rows: list[tuple[str, dict[str, float]]] = field(default_factory=list)
+
+    def add(self, label: str, **series: float) -> None:
+        self.rows.append((label, dict(series)))
+
+    def render(self) -> str:
+        if not self.rows:
+            return self.title
+        maximum = max(v for _, series in self.rows for v in series.values())
+        label_w = max(len(label) for label, _ in self.rows)
+        series_names = list(self.rows[0][1])
+        series_w = max((len(s) for s in series_names), default=0)
+        lines = [self.title, "=" * len(self.title)]
+        for label, series in self.rows:
+            for k, name in enumerate(series_names):
+                value = series.get(name, 0.0)
+                prefix = label.ljust(label_w) if k == 0 else " " * label_w
+                tag = f" {name.ljust(series_w)}" if len(series_names) > 1 else ""
+                lines.append(
+                    f"{prefix}{tag} |{bar(value, maximum, self.width).ljust(self.width)}| "
+                    f"{value:,.1f}{self.unit}"
+                )
+        return "\n".join(lines)
+
+
+def fig3_chart(result) -> str:
+    """The paper's Figure 3 as two bar charts (one per machine)."""
+    from ..programs.kernels import KERNEL_NAMES
+
+    charts = []
+    for panel in (result.origin, result.exemplar):
+        chart = BarChart(
+            f"Effective memory bandwidth on {panel.machine.name} (MB/s)",
+            unit=" MB/s",
+        )
+        for name in KERNEL_NAMES:
+            chart.add(name, bw=panel.bandwidths[name] / 1e6)
+        charts.append(chart.render())
+    return "\n\n".join(charts)
+
+
+def balance_chart(result) -> str:
+    """Figure 1's memory column as bars against the machine's supply."""
+    chart = BarChart("Memory balance: demand vs the machine's supply (B/flop)")
+    supply = result.machine.balance[-1]
+    for b in result.balances:
+        chart.add(b.program, demand=b.memory_balance)
+    chart.add("machine supply", demand=supply)
+    return chart.render()

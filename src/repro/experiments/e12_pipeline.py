@@ -1,0 +1,78 @@
+"""E12 — the full compiler strategy, stage by stage.
+
+Runs the section-3 pipeline (fusion → storage reduction → store
+elimination) on a multi-loop program and reports the per-stage memory
+traffic and simulated time — the ablation of the paper's overall strategy
+showing where each technique's contribution lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..interp.executor import MachineRun, execute
+from ..lang.builder import ProgramBuilder
+from ..lang.program import Program
+from ..machine.spec import MachineSpec
+from ..transforms.pipeline import PipelineResult, optimize
+from .config import ExperimentConfig
+from .report import Table
+
+
+def multi_stage_workload(n: int) -> Program:
+    """A five-loop producer/consumer chain with a temporary and a pair of
+    reductions — enough structure for every pipeline stage to fire."""
+    b = ProgramBuilder("chain", params={"N": n})
+    src = b.array("src", "N")
+    tmp = b.array("tmp", "N")
+    dst = b.array("dst", "N", output=True)
+    aux = b.array("aux", "N")
+    s1 = b.scalar("s1", output=True)
+    s2 = b.scalar("s2", output=True)
+    with b.loop("i", 0, "N") as i:
+        b.assign(tmp[i], src[i] * 2.0 + 1.0)
+    with b.loop("i", 0, "N") as i:
+        b.assign(dst[i], tmp[i] + aux[i])
+    with b.loop("i", 0, "N") as i:
+        b.assign(aux[i], tmp[i] * 0.5)
+    with b.loop("i", 0, "N") as i:
+        b.assign(s1, s1 + aux[i])
+    with b.loop("i", 0, "N") as i:
+        b.assign(s2, s2 + dst[i] * src[i])
+    return b.build()
+
+
+@dataclass(frozen=True)
+class E12Result:
+    machine: MachineSpec
+    pipeline: PipelineResult
+    runs: tuple[tuple[str, MachineRun], ...]  # (stage label, run)
+
+    def table(self) -> Table:
+        t = Table(
+            "E12: full strategy, per-stage memory traffic and time",
+            ("stage", "mem bytes", "writebacks(L2)", "time (ms)", "speedup"),
+        )
+        base = self.runs[0][1].seconds
+        for label, run in self.runs:
+            t.add(
+                label,
+                run.counters.memory_bytes,
+                run.counters.level_stats[-1].writebacks,
+                run.seconds * 1e3,
+                f"{base / run.seconds:.2f}x",
+            )
+        return t
+
+
+def run_e12(config: ExperimentConfig | None = None) -> E12Result:
+    config = config or ExperimentConfig()
+    n = config.stream_elements()
+    program = multi_stage_workload(n)
+    pipeline = optimize(program)
+    machine = config.origin
+    runs: list[tuple[str, MachineRun]] = [("original", execute(program, machine))]
+    for stage in pipeline.stages:
+        if stage.applied:
+            runs.append((stage.stage, execute(stage.program, machine)))
+    return E12Result(machine, pipeline, tuple(runs))

@@ -1,0 +1,123 @@
+"""E15 — bandwidth-based performance prediction (the dissertation's
+"performance tuning and prediction" component, cited in §4).
+
+Measure a program's counters on one machine, predict its time on others
+from balance alone, then actually execute there and report the error:
+
+* across machines with the **same cache geometry** (CPU/bandwidth
+  generations of the Origin) the prediction is exact — byte counts are a
+  property of program x geometry;
+* across **different geometries** (Origin vs Exemplar) the prediction
+  carries the miss-count mismatch; the experiment reports how large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..balance.model import program_balance
+from ..balance.prediction import predict_time
+from ..errors import ReproError
+from ..interp.executor import execute
+from ..machine.presets import future_machine
+from ..machine.spec import MachineSpec
+from ..programs import convolution, make_kernel, sweep3d
+from .config import ExperimentConfig
+from .report import Table
+
+
+@dataclass(frozen=True)
+class PredictionRow:
+    program: str
+    source: str
+    target: str
+    predicted: float
+    actual: float
+
+    @property
+    def error(self) -> float:
+        return abs(self.predicted - self.actual) / self.actual
+
+
+@dataclass(frozen=True)
+class E15Result:
+    rows: tuple[PredictionRow, ...]
+
+    def max_error(self, same_geometry: bool) -> float:
+        sel = [
+            r.error
+            for r in self.rows
+            if (r.target.startswith("Future")) == same_geometry
+        ]
+        if not sel:
+            raise ReproError("no rows selected")
+        return max(sel)
+
+    def table(self) -> Table:
+        t = Table(
+            "E15: bandwidth-based time prediction vs simulation",
+            ("program", "measured on", "predicted for", "predicted (ms)",
+             "actual (ms)", "error"),
+        )
+        for r in self.rows:
+            t.add(
+                r.program,
+                r.source,
+                r.target,
+                r.predicted * 1e3,
+                r.actual * 1e3,
+                f"{r.error:.1%}",
+            )
+        t.note = (
+            "same-geometry targets (Future*) predict exactly; the Exemplar "
+            "row carries the cache-geometry mismatch"
+        )
+        return t
+
+
+def run_e15(config: ExperimentConfig | None = None) -> E15Result:
+    config = config or ExperimentConfig()
+    origin = config.origin
+    targets: list[MachineSpec] = [
+        future_machine(2.0, scale=config.scale),
+        future_machine(8.0, scale=config.scale),
+        config.exemplar,
+    ]
+    n = config.stream_elements()
+    workloads = [
+        make_kernel("1w2r", n),
+        convolution(n),
+        sweep3d(config.grid_side()),
+    ]
+    rows = []
+    for program in workloads:
+        measured = execute(program, origin)
+        balance = program_balance(measured)
+        for target in targets:
+            try:
+                predicted = predict_time(balance, target)
+            except ReproError:
+                # Channel-count mismatch (two-level balance vs one-level
+                # Exemplar): project by dropping the middle channel, the
+                # standard degradation of the method.
+                from ..balance.model import ProgramBalance
+
+                projected = ProgramBalance(
+                    balance.program,
+                    target.level_names,
+                    (balance.bytes_per_flop[0], balance.bytes_per_flop[-1]),
+                    balance.flops,
+                    (balance.channel_bytes[0], balance.channel_bytes[-1]),
+                )
+                predicted = predict_time(projected, target)
+            actual = execute(program, target)
+            rows.append(
+                PredictionRow(
+                    program.name,
+                    origin.name,
+                    target.name,
+                    predicted.seconds,
+                    actual.seconds,
+                )
+            )
+    return E15Result(tuple(rows))

@@ -1,0 +1,77 @@
+"""Figure 2 — demand/supply ratios and the CPU-utilization bound.
+
+Paper values (L1-Reg / L2-L1 / Mem-L2 ratios vs the Origin2000):
+
+    convolution 1.6 / 1.3 / 6.5      FFT      2.1 / 0.8 / 3.4
+    dmxpy       2.1 / 2.1 / 10.5     NAS/SP   2.7 / 1.6 / 6.1
+    mmjki(-O2)  6.0 / 2.1 / 7.4      Sweep3D  3.8 / 2.3 / 9.8
+
+Headline claims we reproduce: every program's *memory* ratio is the
+largest of its row (memory is the scarcest resource); the memory ratios
+span roughly 3–10x; the implied CPU-utilization bound (1/max-ratio) leaves
+most of the CPU idle; removing the bottleneck would need the paper's
+"1.02–3.15 GB/s" class of memory bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..balance.model import BalanceRatios, demand_supply_ratios, required_memory_bandwidth
+from ..machine.spec import MachineSpec
+from .config import ExperimentConfig
+from .fig1_balance import Fig1Result, run_fig1
+from .report import Table
+
+#: Paper ratios for EXPERIMENTS.md comparison.
+PAPER_RATIOS = {
+    "convolution": (1.6, 1.3, 6.5),
+    "dmxpy": (2.1, 2.1, 10.5),
+    "mm(-O2)": (6.0, 2.1, 7.4),
+    "FFT": (2.1, 0.8, 3.4),
+    "NAS/SP": (2.7, 1.6, 6.1),
+    "Sweep3D": (3.8, 2.3, 9.8),
+}
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    machine: MachineSpec
+    ratios: tuple[BalanceRatios, ...]
+
+    def by_name(self, name: str) -> BalanceRatios:
+        for r in self.ratios:
+            if r.program == name:
+                return r
+        raise KeyError(name)
+
+    def table(self) -> Table:
+        t = Table(
+            "Figure 2: ratios of bandwidth demand over supply",
+            ("program", *self.machine.level_names, "CPU util bound", "needed mem BW (MB/s)"),
+        )
+        for r in self.ratios:
+            t.add(
+                r.program,
+                *r.ratios,
+                f"{r.cpu_utilization_bound:.1%}",
+                required_memory_bandwidth(r, self.machine) / 1e6,
+            )
+        t.note = (
+            "utilization bound = 1/max ratio; needed bandwidth = current "
+            "memory bandwidth x memory ratio (the paper's 1.02-3.15 GB/s argument)"
+        )
+        return t
+
+
+def run_fig2(
+    config: ExperimentConfig | None = None, fig1: Fig1Result | None = None
+) -> Fig2Result:
+    config = config or ExperimentConfig()
+    fig1 = fig1 or run_fig1(config)
+    ratios = tuple(
+        demand_supply_ratios(balance, fig1.machine)
+        for balance in fig1.balances
+        if balance.program != "mm(-O3)"  # the paper's Figure 2 drops the blocked mm
+    )
+    return Fig2Result(fig1.machine, ratios)

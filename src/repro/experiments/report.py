@@ -1,0 +1,65 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment returns a structured result plus a :class:`Table` so the
+runner can print the same rows the paper's figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def fmt(value, digits: int = 2) -> str:
+    """Format one cell: floats to ``digits``, everything else via str."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled text table."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence] = field(default_factory=list)
+    note: str = ""
+
+    def add(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self, digits: int = 2) -> str:
+        cells = [[fmt(c, digits) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for k, c in enumerate(row):
+                widths[k] = max(widths[k], len(c))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in cells:
+            lines.append(
+                " | ".join(
+                    c.rjust(w) if _numericish(c) else c.ljust(w)
+                    for c, w in zip(row, widths)
+                )
+            )
+        if self.note:
+            lines.append("")
+            lines.append(f"note: {self.note}")
+        return "\n".join(lines)
+
+
+def _numericish(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace(".", "").replace("-", "").replace("%", "")
+    return stripped.isdigit()

@@ -1,0 +1,110 @@
+"""Run every experiment and print the paper's tables.
+
+Usage::
+
+    python -m repro.experiments.runner            # everything
+    python -m repro.experiments.runner fig1 fig3  # a subset
+    repro-experiments --scale 64 fig8             # bigger simulation
+
+Each experiment prints the table its paper figure reports; EXPERIMENTS.md
+records the paper-vs-measured comparison for the checked-in default scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from .config import ExperimentConfig
+from .e9_npcomplete import run_e9
+from .e13_replacement import run_e13
+from .e14_intrinsic import run_e14
+from .e15_prediction import run_e15
+from .e16_regrouping import run_e16
+from .e17_survey import run_e17
+from .e18_three_c import run_e18
+from .e10_blocking import run_e10
+from .e11_sp_utilization import run_e11
+from .e12_pipeline import run_e12
+from .fig1_balance import run_fig1
+from .fig2_ratios import run_fig2
+from .fig3_bandwidth import run_fig3
+from .fig4_fusion import run_fig4
+from .fig5_mincut import run_fig5
+from .fig6_storage import run_fig6
+from .fig8_store_elim import run_fig8
+
+EXPERIMENTS: dict[str, Callable] = {
+    "fig1": lambda cfg: run_fig1(cfg),
+    "fig2": lambda cfg: run_fig2(cfg),
+    "fig3": lambda cfg: run_fig3(cfg),
+    "fig4": lambda cfg: run_fig4(cfg),
+    "fig5": lambda cfg: run_fig5(),
+    "fig6": lambda cfg: run_fig6(cfg),
+    "fig8": lambda cfg: run_fig8(cfg),
+    "e9": lambda cfg: run_e9(),
+    "e10": lambda cfg: run_e10(cfg),
+    "e11": lambda cfg: run_e11(cfg),
+    "e12": lambda cfg: run_e12(cfg),
+    "e13": lambda cfg: run_e13(cfg),
+    "e14": lambda cfg: run_e14(cfg),
+    "e15": lambda cfg: run_e15(cfg),
+    "e16": lambda cfg: run_e16(cfg),
+    "e17": lambda cfg: run_e17(cfg),
+    "e18": lambda cfg: run_e18(cfg),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce every table/figure of Ding & Kennedy (IPPS 2000).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*EXPERIMENTS, "all"],
+        default="all",
+        help="which experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        help="cache scale-down factor (default from config; smaller = slower, closer to hardware sizes)",
+    )
+    parser.add_argument(
+        "--charts",
+        action="store_true",
+        help="also render bar-chart views (the paper's Figure 3 presentation)",
+    )
+    args = parser.parse_args(argv)
+
+    wanted = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    cfg = ExperimentConfig(scale=args.scale) if args.scale else ExperimentConfig()
+
+    print(f"machine scale: 1/{cfg.scale} of the paper's cache sizes\n")
+    for name in wanted:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name](cfg)
+        elapsed = time.perf_counter() - start
+        print(result.table().render())
+        if args.charts and name == "fig3":
+            from .charts import fig3_chart
+
+            print()
+            print(fig3_chart(result))
+        if args.charts and name == "fig1":
+            from .charts import balance_chart
+
+            print()
+            print(balance_chart(result))
+        print(f"[{name}: {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Bandwidth-minimal loop fusion (paper section 3.1) and baselines."""
+
+from .apply import apply_partitioning, fuse_loops
+from .build import fusion_graph_from_program
+from .cost import (
+    bandwidth_cost,
+    edge_weight_cost,
+    hyperedge_length_cost,
+    memory_bytes_estimate,
+    reload_count,
+)
+from .edge_weighted import (
+    EdgeWeightedSolution,
+    edge_weighted_two_partition,
+    greedy_edge_weighted,
+    optimal_edge_weighted,
+)
+from .graph import FusionGraph, FusionNode, Partitioning, check_legal, is_legal, require_legal
+from .hypergraph import Hyperedge, Hypergraph
+from .kwaycut import (
+    KWayCutInstance,
+    brute_force_kway_cut,
+    fusion_from_assignment,
+    to_fusion_graph,
+    verify_reduction,
+)
+from .maxflow import FlowNetwork, MaxFlowResult, max_flow
+from .mincut import HyperCut, minimal_hyperedge_cut
+from .multi_partition import (
+    FusionSolution,
+    greedy_partitioning,
+    optimal_partitioning,
+    program_order_fusion,
+)
+from .two_partition import TwoPartitionResult, orient_terminals, two_partition
+from .typed import (
+    array_weights_from_program,
+    optimal_weighted_partitioning,
+    typed_fusion,
+    weighted_bandwidth_cost,
+    weighted_two_partition_cut,
+)
+
+__all__ = [
+    "EdgeWeightedSolution",
+    "FlowNetwork",
+    "FusionGraph",
+    "FusionNode",
+    "FusionSolution",
+    "HyperCut",
+    "Hyperedge",
+    "Hypergraph",
+    "KWayCutInstance",
+    "MaxFlowResult",
+    "Partitioning",
+    "TwoPartitionResult",
+    "apply_partitioning",
+    "bandwidth_cost",
+    "brute_force_kway_cut",
+    "check_legal",
+    "edge_weight_cost",
+    "edge_weighted_two_partition",
+    "fuse_loops",
+    "fusion_from_assignment",
+    "fusion_graph_from_program",
+    "greedy_edge_weighted",
+    "greedy_partitioning",
+    "hyperedge_length_cost",
+    "is_legal",
+    "max_flow",
+    "memory_bytes_estimate",
+    "minimal_hyperedge_cut",
+    "optimal_edge_weighted",
+    "optimal_partitioning",
+    "program_order_fusion",
+    "orient_terminals",
+    "reload_count",
+    "require_legal",
+    "to_fusion_graph",
+    "two_partition",
+    "typed_fusion",
+    "weighted_bandwidth_cost",
+    "weighted_two_partition_cut",
+    "optimal_weighted_partitioning",
+    "array_weights_from_program",
+    "verify_reduction",
+]

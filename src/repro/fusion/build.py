@@ -1,0 +1,46 @@
+"""Construct fusion graphs from IR programs.
+
+One node per top-level statement; node arrays come from read/write-set
+analysis, dependence edges from the dependence analysis, and
+fusion-preventing edges from the legality analysis (non-conformable
+headers, unanalyzable or direction-reversing subscripts, non-loop
+statements).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..lang.analysis.legality import fusion_constraints
+from ..lang.program import Program
+from ..lang.stmt import Loop
+from .graph import FusionGraph
+
+
+def fusion_graph_from_program(
+    program: Program,
+    extra_preventing: Iterable[tuple[int, int]] = (),
+) -> FusionGraph:
+    """Build the paper's fusion graph for ``program``'s top-level statements.
+
+    ``extra_preventing`` adds user-asserted fusion-preventing pairs on top
+    of the analyzed ones (the paper's Figure 4 *assumes* loops 5 and 6
+    cannot fuse; such external constraints — register pressure, pragmas —
+    are modeled this way).
+    """
+    constraints = fusion_constraints(program)
+    labels = []
+    for i, stmt in enumerate(program.body):
+        if isinstance(stmt, Loop):
+            labels.append(f"loop{i + 1}({stmt.var})")
+        else:
+            labels.append(f"stmt{i + 1}")
+    deps = constraints.dependences.pairs()
+    preventing = set(constraints.fusion_preventing)
+    preventing.update((min(u, v), max(u, v)) for u, v in extra_preventing)
+    return FusionGraph.build(
+        [constraints.node_arrays[i] for i in range(constraints.n_nodes)],
+        deps=deps,
+        preventing=preventing,
+        labels=labels,
+    )

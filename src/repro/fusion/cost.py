@@ -1,0 +1,66 @@
+"""Cost models for partitionings.
+
+* :func:`bandwidth_cost` — the paper's objective (Problem 3.1): the sum
+  over partitions of the number of distinct arrays each accesses. Assuming
+  arrays too large for cross-loop cache reuse, every partition loads each
+  of its arrays from memory once, so this sum *is* the total memory
+  transfer in array-loads.
+* :func:`edge_weight_cost` — the prior objective of Gao et al. and
+  Kennedy & McKinley: total weight of edges crossing partitions, where an
+  edge's weight is the number of arrays its two loops share. The paper's
+  Figure 4 shows this does not minimize memory transfer; our Figure 4
+  experiment reproduces the counterexample with these two functions.
+* :func:`hyperedge_length_cost` — the Problem 3.2 restatement: the sum of
+  hyperedge lengths (partitions touched per array). Equal to
+  :func:`bandwidth_cost` by construction; tested as an invariant.
+"""
+
+from __future__ import annotations
+
+from .graph import FusionGraph, Partitioning
+
+
+def bandwidth_cost(graph: FusionGraph, partitioning: Partitioning) -> int:
+    """Total array-loads: sum over groups of distinct arrays accessed."""
+    return sum(len(graph.arrays_of(g)) for g in partitioning.groups)
+
+
+def edge_weight_cost(graph: FusionGraph, partitioning: Partitioning) -> int:
+    """Total shared-array weight across group boundaries (to *minimize*)."""
+    total = 0
+    for u in range(graph.n_nodes):
+        for v in range(u + 1, graph.n_nodes):
+            w = graph.shared_weight(u, v)
+            if w and partitioning.group_of(u) != partitioning.group_of(v):
+                total += w
+    return total
+
+
+def hyperedge_length_cost(graph: FusionGraph, partitioning: Partitioning) -> int:
+    """Sum over hyperedges (arrays) of the number of groups they touch."""
+    total = 0
+    for _, members in graph.hyperedges().items():
+        groups = {partitioning.group_of(i) for i in members}
+        total += len(groups)
+    return total
+
+
+def reload_count(graph: FusionGraph, partitioning: Partitioning) -> int:
+    """Arrays loaded more than once: bandwidth cost minus distinct arrays.
+
+    The minimal-cut objective: a cut hyperedge is exactly an array that
+    must be reloaded by a later partition.
+    """
+    return bandwidth_cost(graph, partitioning) - len(graph.all_arrays)
+
+
+def memory_bytes_estimate(
+    graph: FusionGraph, partitioning: Partitioning, array_bytes: dict[str, int]
+) -> int:
+    """Estimated memory traffic in bytes: each group streams each of its
+    arrays once (reads; writebacks are modeled by the executor, not here)."""
+    total = 0
+    for g in partitioning.groups:
+        for arr in graph.arrays_of(g):
+            total += array_bytes[arr]
+    return total

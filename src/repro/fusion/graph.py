@@ -1,0 +1,198 @@
+"""Fusion graphs (paper §3.1.1).
+
+A fusion graph has one node per loop (or unfusable statement), directed
+edges for data dependences, and undirected *fusion-preventing* edges for
+pairs that may never share a partition. Each node carries the set of
+arrays the loop accesses — the quantity the bandwidth-minimal objective
+sums per partition.
+
+A :class:`Partitioning` is an ordered sequence of disjoint node groups;
+correctness (paper Problem 3.1) requires every node to appear exactly
+once, no fusion-preventing pair inside a group, and all dependence edges
+to point forward (same group allowed — fusing producer and consumer is the
+whole point; pairs whose fusion would reverse a dependence carry a
+fusion-preventing edge instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import FusionError
+
+
+@dataclass(frozen=True)
+class FusionNode:
+    """One loop nest: its index in program order, a label, and the set of
+    distinct arrays it accesses."""
+
+    index: int
+    label: str
+    arrays: frozenset[str]
+
+
+@dataclass(frozen=True)
+class FusionGraph:
+    """The complete fusion problem instance."""
+
+    nodes: tuple[FusionNode, ...]
+    deps: frozenset[tuple[int, int]]  # directed (src, dst)
+    preventing: frozenset[tuple[int, int]]  # undirected, stored sorted
+
+    def __post_init__(self) -> None:
+        n = len(self.nodes)
+        for i, node in enumerate(self.nodes):
+            if node.index != i:
+                raise FusionError(f"node {node.label} has index {node.index}, expected {i}")
+        for u, v in self.deps:
+            if not (0 <= u < n and 0 <= v < n) or u == v:
+                raise FusionError(f"invalid dependence edge ({u}, {v})")
+        for u, v in self.preventing:
+            if not (0 <= u < n and 0 <= v < n) or u >= v:
+                raise FusionError(f"preventing edges must be stored as (low, high): ({u}, {v})")
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        adj: dict[int, list[int]] = {i: [] for i in range(len(self.nodes))}
+        indeg = {i: 0 for i in range(len(self.nodes))}
+        for u, v in self.deps:
+            adj[u].append(v)
+            indeg[v] += 1
+        queue = [i for i, d in indeg.items() if d == 0]
+        seen = 0
+        while queue:
+            u = queue.pop()
+            seen += 1
+            for v in adj[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    queue.append(v)
+        if seen != len(self.nodes):
+            raise FusionError("dependence edges form a cycle")
+
+    # -- construction helpers -------------------------------------------------
+    @staticmethod
+    def build(
+        node_arrays: Sequence[Iterable[str]],
+        deps: Iterable[tuple[int, int]] = (),
+        preventing: Iterable[tuple[int, int]] = (),
+        labels: Sequence[str] | None = None,
+    ) -> "FusionGraph":
+        nodes = tuple(
+            FusionNode(
+                i,
+                labels[i] if labels else f"loop{i + 1}",
+                frozenset(arrs),
+            )
+            for i, arrs in enumerate(node_arrays)
+        )
+        prev = frozenset((min(u, v), max(u, v)) for u, v in preventing)
+        return FusionGraph(nodes, frozenset(deps), prev)
+
+    # -- inspection ------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def all_arrays(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for node in self.nodes:
+            out |= node.arrays
+        return out
+
+    def arrays_of(self, group: Iterable[int]) -> frozenset[str]:
+        out: set[str] = set()
+        for i in group:
+            out |= self.nodes[i].arrays
+        return frozenset(out)
+
+    def prevented(self, u: int, v: int) -> bool:
+        return (min(u, v), max(u, v)) in self.preventing
+
+    def hyperedges(self) -> dict[str, frozenset[int]]:
+        """One hyperedge per array: the set of nodes accessing it (paper
+        Problem 3.2)."""
+        edges: dict[str, set[int]] = {}
+        for node in self.nodes:
+            for arr in node.arrays:
+                edges.setdefault(arr, set()).add(node.index)
+        return {a: frozenset(s) for a, s in edges.items()}
+
+    def shared_weight(self, u: int, v: int) -> int:
+        """Edge weight of the Gao/Kennedy–McKinley formulation: number of
+        arrays the two loops share."""
+        return len(self.nodes[u].arrays & self.nodes[v].arrays)
+
+
+@dataclass(frozen=True)
+class Partitioning:
+    """An ordered sequence of fused groups."""
+
+    groups: tuple[frozenset[int], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "groups", tuple(frozenset(g) for g in self.groups))
+
+    @staticmethod
+    def of(groups: Iterable[Iterable[int]]) -> "Partitioning":
+        return Partitioning(tuple(frozenset(g) for g in groups))
+
+    @staticmethod
+    def singletons(n: int) -> "Partitioning":
+        """The no-fusion partitioning: every node alone, program order."""
+        return Partitioning(tuple(frozenset([i]) for i in range(n)))
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    def group_of(self, node: int) -> int:
+        for gi, g in enumerate(self.groups):
+            if node in g:
+                return gi
+        raise FusionError(f"node {node} not in any group")
+
+    def all_nodes(self) -> frozenset[int]:
+        out: set[int] = set()
+        for g in self.groups:
+            out |= g
+        return frozenset(out)
+
+    def __str__(self) -> str:
+        return " | ".join("{" + ",".join(str(i) for i in sorted(g)) + "}" for g in self.groups)
+
+
+def check_legal(graph: FusionGraph, partitioning: Partitioning) -> str | None:
+    """Return None when legal, else a human-readable violation."""
+    seen: set[int] = set()
+    for g in partitioning.groups:
+        if not g:
+            return "empty group"
+        overlap = seen & g
+        if overlap:
+            return f"nodes {sorted(overlap)} appear in more than one group"
+        seen |= g
+    if seen != set(range(graph.n_nodes)):
+        missing = set(range(graph.n_nodes)) - seen
+        return f"nodes {sorted(missing)} are not placed"
+    for g in partitioning.groups:
+        for u in g:
+            for v in g:
+                if u < v and graph.prevented(u, v):
+                    return f"fusion-preventing pair ({u}, {v}) share a group"
+    for u, v in graph.deps:
+        if partitioning.group_of(u) > partitioning.group_of(v):
+            return f"dependence ({u} -> {v}) points backward across groups"
+    return None
+
+
+def is_legal(graph: FusionGraph, partitioning: Partitioning) -> bool:
+    return check_legal(graph, partitioning) is None
+
+
+def require_legal(graph: FusionGraph, partitioning: Partitioning) -> None:
+    reason = check_legal(graph, partitioning)
+    if reason is not None:
+        raise FusionError(f"illegal partitioning {partitioning}: {reason}")

@@ -1,0 +1,96 @@
+"""Hypergraphs for modeling data sharing (paper §3.1.2).
+
+A normal edge can only relate two loops, but one array may be shared by
+any number of loops — the precise reason the paper replaces the
+edge-weighted fusion model with hyperedges: one hyperedge per array,
+connecting every loop that accesses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..errors import FusionError
+from .graph import FusionGraph
+
+
+@dataclass(frozen=True)
+class Hyperedge:
+    """A weighted hyperedge over fusion-graph nodes."""
+
+    name: str
+    members: frozenset[int]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise FusionError(f"hyperedge {self.name!r} has no members")
+        if self.weight <= 0:
+            raise FusionError(f"hyperedge {self.name!r} must have positive weight")
+
+    def overlaps(self, other: "Hyperedge") -> bool:
+        return bool(self.members & other.members)
+
+
+@dataclass(frozen=True)
+class Hypergraph:
+    """Nodes plus weighted hyperedges."""
+
+    n_nodes: int
+    edges: tuple[Hyperedge, ...]
+
+    def __post_init__(self) -> None:
+        names = set()
+        for e in self.edges:
+            if e.name in names:
+                raise FusionError(f"duplicate hyperedge name {e.name!r}")
+            names.add(e.name)
+            if any(not (0 <= m < self.n_nodes) for m in e.members):
+                raise FusionError(f"hyperedge {e.name!r} references unknown nodes")
+
+    @staticmethod
+    def from_fusion_graph(graph: FusionGraph, weights: Mapping[str, float] | None = None) -> "Hypergraph":
+        """One hyperedge per array (Problem 3.2)."""
+        edges = tuple(
+            Hyperedge(arr, members, (weights or {}).get(arr, 1.0))
+            for arr, members in sorted(graph.hyperedges().items())
+        )
+        return Hypergraph(graph.n_nodes, edges)
+
+    def edge(self, name: str) -> Hyperedge:
+        for e in self.edges:
+            if e.name == name:
+                return e
+        raise FusionError(f"no hyperedge named {name!r}")
+
+    def with_edges(self, extra: Iterable[Hyperedge]) -> "Hypergraph":
+        return Hypergraph(self.n_nodes, self.edges + tuple(extra))
+
+    def total_weight(self) -> float:
+        return sum(e.weight for e in self.edges)
+
+    # -- connectivity -----------------------------------------------------------
+    def component(self, start: int, excluded: frozenset[str] = frozenset()) -> frozenset[int]:
+        """Nodes reachable from ``start`` via hyperedges not in ``excluded``.
+
+        Two nodes are connected when a sequence of hyperedges links them,
+        consecutive edges sharing at least one node (the paper's path
+        definition).
+        """
+        active = [e for e in self.edges if e.name not in excluded]
+        reached = {start}
+        changed = True
+        while changed:
+            changed = False
+            for e in active:
+                if e.members & reached and not e.members <= reached:
+                    reached |= e.members
+                    changed = True
+        return frozenset(reached)
+
+    def connected(self, u: int, v: int, excluded: frozenset[str] = frozenset()) -> bool:
+        return v in self.component(u, excluded)
+
+    def edges_at(self, node: int) -> tuple[Hyperedge, ...]:
+        return tuple(e for e in self.edges if node in e.members)

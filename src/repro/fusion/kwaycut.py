@@ -1,0 +1,113 @@
+"""The k-way cut ⇄ fusion reduction (paper §3.1.3 NP-completeness proof).
+
+Given a graph G and k terminals, a k-way cut is an edge set of minimal
+weight whose removal pairwise disconnects the terminals. The paper converts
+such an instance into a fusion problem: one fusion node per vertex, a
+fusion-preventing edge between every terminal pair, and one hyperedge
+(array) per graph edge connecting its two endpoints. A minimal k-way cut
+then corresponds exactly to an optimal fusion: each uncut edge's array is
+loaded once, each cut edge's array twice, so
+
+    optimal fusion cost = |E| + minimal k-way cut weight.
+
+This module implements the construction and a brute-force k-way cut solver
+so the correspondence is testable in both directions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..errors import FusionError
+from .cost import bandwidth_cost
+from .graph import FusionGraph, Partitioning
+from .multi_partition import optimal_partitioning
+
+
+@dataclass(frozen=True)
+class KWayCutInstance:
+    """An undirected unit-weight k-way cut instance."""
+
+    n_nodes: int
+    edges: tuple[tuple[int, int], ...]
+    terminals: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "edges", tuple((min(u, v), max(u, v)) for u, v in self.edges)
+        )
+        for u, v in self.edges:
+            if not (0 <= u < self.n_nodes and 0 <= v < self.n_nodes) or u == v:
+                raise FusionError(f"bad edge ({u}, {v})")
+        if len(set(self.terminals)) != len(self.terminals) or len(self.terminals) < 2:
+            raise FusionError("need at least two distinct terminals")
+        for t in self.terminals:
+            if not (0 <= t < self.n_nodes):
+                raise FusionError(f"terminal {t} out of range")
+
+    @property
+    def k(self) -> int:
+        return len(self.terminals)
+
+
+def to_fusion_graph(instance: KWayCutInstance) -> FusionGraph:
+    """The paper's construction: hyperedge per graph edge, fusion-preventing
+    edge per terminal pair, no dependences."""
+    node_arrays: list[set[str]] = [set() for _ in range(instance.n_nodes)]
+    for idx, (u, v) in enumerate(instance.edges):
+        name = f"e{idx}"
+        node_arrays[u].add(name)
+        node_arrays[v].add(name)
+    preventing = [
+        (a, b) for a, b in itertools.combinations(sorted(instance.terminals), 2)
+    ]
+    return FusionGraph.build(node_arrays, deps=(), preventing=preventing)
+
+
+def brute_force_kway_cut(instance: KWayCutInstance) -> tuple[int, dict[int, int]]:
+    """Minimal k-way cut by exhaustive assignment of non-terminals.
+
+    Returns (cut weight, node -> terminal-group assignment). Exponential;
+    for validating the reduction on small instances.
+    """
+    terminals = instance.terminals
+    others = [i for i in range(instance.n_nodes) if i not in terminals]
+    if len(others) > 12:
+        raise FusionError("brute force limited to 12 non-terminal nodes")
+    base = {t: gi for gi, t in enumerate(terminals)}
+    best_weight: int | None = None
+    best_assign: dict[int, int] = {}
+    for combo in itertools.product(range(instance.k), repeat=len(others)):
+        assign = dict(base)
+        assign.update({node: g for node, g in zip(others, combo)})
+        weight = sum(1 for u, v in instance.edges if assign[u] != assign[v])
+        if best_weight is None or weight < best_weight:
+            best_weight = weight
+            best_assign = assign
+    assert best_weight is not None
+    return best_weight, best_assign
+
+
+def fusion_from_assignment(
+    instance: KWayCutInstance, assignment: dict[int, int]
+) -> Partitioning:
+    """The partitioning a k-way-cut assignment induces (groups in terminal
+    order)."""
+    groups = []
+    for gi in range(instance.k):
+        groups.append(frozenset(n for n, g in assignment.items() if g == gi))
+    return Partitioning(tuple(g for g in groups if g))
+
+
+def verify_reduction(instance: KWayCutInstance) -> tuple[int, int]:
+    """Run both sides of the reduction; returns (fusion optimum,
+    |E| + k-way-cut optimum) — equal iff the reduction is faithful."""
+    graph = to_fusion_graph(instance)
+    fusion = optimal_partitioning(graph)
+    cut_weight, assignment = brute_force_kway_cut(instance)
+    induced = fusion_from_assignment(instance, assignment)
+    induced_cost = bandwidth_cost(graph, induced)
+    if induced_cost != len(instance.edges) + cut_weight:
+        raise FusionError("induced partitioning cost does not match cut weight")
+    return fusion.cost, len(instance.edges) + cut_weight

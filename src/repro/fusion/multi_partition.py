@@ -1,0 +1,202 @@
+"""General (multi-way) bandwidth-minimal fusion.
+
+The paper proves the general problem NP-complete (§3.1.3), so we provide:
+
+* :func:`optimal_partitioning` — an exact exponential solver: dynamic
+  programming over the set of still-unplaced nodes, enumerating every
+  legal "next partition". O(3^n) subset pairs; practical to ~14 loops,
+  plenty for whole-program fusion graphs at the granularity the paper
+  works at (and for validating the heuristic).
+* :func:`greedy_partitioning` — the paper's suggested heuristic shape:
+  recursively bisect the graph with the polynomial two-partition minimal
+  cut until no fusion-preventing pair remains inside any group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from ..errors import FusionError
+from .cost import bandwidth_cost
+from .graph import FusionGraph, Partitioning, require_legal
+from .two_partition import orient_terminals, two_partition
+
+MAX_EXACT_NODES = 14
+
+
+@dataclass(frozen=True)
+class FusionSolution:
+    partitioning: Partitioning
+    cost: int
+    method: str
+
+
+def _enumerate_subsets(items: tuple[int, ...]):
+    """All non-empty subsets of ``items`` as frozensets."""
+    n = len(items)
+    for mask in range(1, 1 << n):
+        yield frozenset(items[i] for i in range(n) if mask & (1 << i))
+
+
+def optimal_partitioning(
+    graph: FusionGraph,
+    cost_fn: Callable[[FusionGraph, Partitioning], int] | None = None,
+) -> FusionSolution:
+    """Exact minimum-cost legal partitioning.
+
+    ``cost_fn`` defaults to the bandwidth cost; it must decompose as a sum
+    of independent per-group costs for the DP to be exact, which holds for
+    the bandwidth objective (per-group distinct arrays). For the
+    edge-weighted baseline use
+    :func:`repro.fusion.edge_weighted.optimal_edge_weighted`.
+    """
+    n = graph.n_nodes
+    if n == 0:
+        raise FusionError("empty fusion graph")
+    if n > MAX_EXACT_NODES:
+        raise FusionError(
+            f"exact solver limited to {MAX_EXACT_NODES} nodes (got {n}); "
+            "use greedy_partitioning"
+        )
+    if cost_fn is None:
+        group_cost = lambda g: len(graph.arrays_of(g))  # noqa: E731
+    else:
+        group_cost = lambda g: cost_fn(graph, Partitioning((frozenset(g),)))  # noqa: E731
+
+    deps = tuple(graph.deps)
+    preventing = graph.preventing
+
+    def first_group_legal(group: frozenset[int], remaining: frozenset[int]) -> bool:
+        for u in group:
+            for v in group:
+                if u < v and (u, v) in preventing:
+                    return False
+        rest = remaining - group
+        for a, b in deps:
+            if a in rest and b in group:
+                return False
+        return True
+
+    @lru_cache(maxsize=None)
+    def solve(remaining: frozenset[int]) -> tuple[int, tuple[frozenset[int], ...]]:
+        if not remaining:
+            return 0, ()
+        items = tuple(sorted(remaining))
+        best_cost: int | None = None
+        best_groups: tuple[frozenset[int], ...] = ()
+        for group in _enumerate_subsets(items):
+            if not first_group_legal(group, remaining):
+                continue
+            sub_cost, sub_groups = solve(remaining - group)
+            total = group_cost(group) + sub_cost
+            if best_cost is None or total < best_cost:
+                best_cost = total
+                best_groups = (group,) + sub_groups
+        if best_cost is None:
+            raise FusionError("no legal partitioning exists")
+        return best_cost, best_groups
+
+    cost, groups = solve(frozenset(range(n)))
+    partitioning = Partitioning(groups)
+    require_legal(graph, partitioning)
+    return FusionSolution(partitioning, bandwidth_cost(graph, partitioning), "exact")
+
+
+def greedy_partitioning(graph: FusionGraph) -> FusionSolution:
+    """Recursive min-cut bisection (the heuristic the paper proposes to
+    plug its Figure 5 algorithm into)."""
+
+    def recurse(node_set: frozenset[int]) -> list[frozenset[int]]:
+        pairs = [
+            (u, v)
+            for (u, v) in sorted(graph.preventing)
+            if u in node_set and v in node_set
+        ]
+        if not pairs:
+            return [node_set]
+        sub, mapping = _induced_subgraph(graph, node_set)
+        u, v = pairs[0]
+        s, t = orient_terminals(graph, u, v)
+        result = two_partition(sub, mapping[s], mapping[t])
+        inverse = {new: old for old, new in mapping.items()}
+        early = frozenset(inverse[i] for i in result.partitioning.groups[0])
+        late = frozenset(inverse[i] for i in result.partitioning.groups[1])
+        return recurse(early) + recurse(late)
+
+    groups = recurse(frozenset(range(graph.n_nodes)))
+    partitioning = _order_groups(graph, groups)
+    require_legal(graph, partitioning)
+    return FusionSolution(partitioning, bandwidth_cost(graph, partitioning), "greedy-bisection")
+
+
+def _induced_subgraph(
+    graph: FusionGraph, node_set: frozenset[int]
+) -> tuple[FusionGraph, dict[int, int]]:
+    """Subgraph over ``node_set`` with nodes reindexed densely."""
+    ordered = sorted(node_set)
+    mapping = {old: new for new, old in enumerate(ordered)}
+    sub = FusionGraph.build(
+        [graph.nodes[i].arrays for i in ordered],
+        deps=[(mapping[u], mapping[v]) for u, v in graph.deps if u in node_set and v in node_set],
+        preventing=[
+            (mapping[u], mapping[v])
+            for u, v in graph.preventing
+            if u in node_set and v in node_set
+        ],
+        labels=[graph.nodes[i].label for i in ordered],
+    )
+    return sub, mapping
+
+
+def _order_groups(graph: FusionGraph, groups: list[frozenset[int]]) -> Partitioning:
+    """Topologically order groups by inter-group dependences (ties by
+    smallest member, keeping program order)."""
+    n = len(groups)
+    group_of = {}
+    for gi, g in enumerate(groups):
+        for node in g:
+            group_of[node] = gi
+    succ: dict[int, set[int]] = {i: set() for i in range(n)}
+    indeg = {i: 0 for i in range(n)}
+    for u, v in graph.deps:
+        gu, gv = group_of[u], group_of[v]
+        if gu != gv and gv not in succ[gu]:
+            succ[gu].add(gv)
+            indeg[gv] += 1
+    ready = sorted((i for i in range(n) if indeg[i] == 0), key=lambda i: min(groups[i]))
+    order: list[int] = []
+    while ready:
+        g = ready.pop(0)
+        order.append(g)
+        for nxt in sorted(succ[g]):
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                ready.append(nxt)
+        ready.sort(key=lambda i: min(groups[i]))
+    if len(order) != n:
+        raise FusionError("inter-group dependences are cyclic; bisection produced an invalid split")
+    return Partitioning(tuple(groups[i] for i in order))
+
+
+def program_order_fusion(graph: FusionGraph) -> FusionSolution:
+    """The classic 'fuse adjacent loops when legal' baseline: sweep nodes in
+    program order, adding each to the current group unless a
+    fusion-preventing pair forbids it. Linear time; used as the
+    no-cleverness baseline in comparisons."""
+    groups: list[set[int]] = []
+    current: set[int] = set()
+    for node in range(graph.n_nodes):
+        if current and any(graph.prevented(node, member) for member in current):
+            groups.append(current)
+            current = {node}
+        else:
+            current.add(node)
+    if current:
+        groups.append(current)
+    partitioning = Partitioning(tuple(frozenset(g) for g in groups))
+    require_legal(graph, partitioning)
+    return FusionSolution(
+        partitioning, bandwidth_cost(graph, partitioning), "program-order"
+    )

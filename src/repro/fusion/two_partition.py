@@ -1,0 +1,116 @@
+"""Two-partitioning: the polynomial special case of bandwidth-minimal fusion.
+
+Given a fusion graph with two designated terminals that must be separated
+(one fusion-preventing edge), the optimal two-way partitioning is a minimal
+hyperedge cut: the total memory transfer is the number of distinct arrays
+plus the cut size (cut arrays are the ones loaded twice).
+
+Dependences are enforced with the paper's heavy-edge trick: for a
+dependence a→b, three hyperedges {s,a}, {a,b}, {b,t} of weight W (W larger
+than any possible array cut) add exactly W to every legal cut and at least
+3W to any dependence-violating one, so a minimal cut never violates a
+dependence. Dependences incident to a terminal degenerate to a single
+heavy edge penalizing exactly the violating side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FusionError
+from .cost import bandwidth_cost
+from .graph import FusionGraph, Partitioning
+from .hypergraph import Hyperedge, Hypergraph
+from .mincut import HyperCut, minimal_hyperedge_cut
+
+
+@dataclass(frozen=True)
+class TwoPartitionResult:
+    """Optimal two-way split for terminals (s earlier, t later)."""
+
+    partitioning: Partitioning
+    cut_arrays: frozenset[str]
+    cost: int  # bandwidth cost: distinct arrays summed over both groups
+
+
+def _dependence_edges(
+    graph: FusionGraph, s: int, t: int, heavy: float
+) -> list[Hyperedge]:
+    """Heavy hyperedges encoding every dependence for terminals (s, t)."""
+    edges: list[Hyperedge] = []
+    for k, (a, b) in enumerate(sorted(graph.deps)):
+        tag = f"__dep{k}_{a}_{b}"
+        if a == s or b == t:
+            # s is always in the early side / t always in the late side:
+            # the dependence cannot be violated.
+            continue
+        if a == t:
+            # t->b: b must be in the late side; penalize b early.
+            edges.append(Hyperedge(f"{tag}_bt", frozenset({b, t}), heavy))
+            continue
+        if b == s:
+            # a->s: a must be in the early side; penalize a late.
+            edges.append(Hyperedge(f"{tag}_sa", frozenset({s, a}), heavy))
+            continue
+        edges.append(Hyperedge(f"{tag}_sa", frozenset({s, a}), heavy))
+        edges.append(Hyperedge(f"{tag}_ab", frozenset({a, b}), heavy))
+        edges.append(Hyperedge(f"{tag}_bt", frozenset({b, t}), heavy))
+    return edges
+
+
+def two_partition(graph: FusionGraph, s: int, t: int) -> TwoPartitionResult:
+    """Optimal bandwidth-minimal split with ``s`` early and ``t`` late.
+
+    Raises :class:`FusionError` if a dependence forces ``t`` before ``s``.
+    """
+    if graph.prevented(s, t) is False and s != t:
+        # Not an error: callers may bisect on any pair; but warnable.
+        pass
+    # Dependence sanity: t must not (transitively) precede s.
+    if _reaches(graph, t, s):
+        raise FusionError(f"terminal order contradicts dependences: {t} precedes {s}")
+
+    hg = Hypergraph.from_fusion_graph(graph)
+    heavy = hg.total_weight() + 1.0
+    hg = hg.with_edges(_dependence_edges(graph, s, t, heavy))
+    cut = minimal_hyperedge_cut(hg, s, t)
+
+    early = frozenset(cut.side_s)
+    late = frozenset(range(graph.n_nodes)) - early
+    if not late:
+        raise FusionError("cut produced an empty late side")
+    partitioning = Partitioning((early, late))
+    # The split must respect every dependence (the heavy edges guarantee
+    # it; verify anyway). Other fusion-preventing pairs may still share a
+    # side here — the multi-partitioner resolves those recursively.
+    for a, b in graph.deps:
+        if a in late and b in early:
+            raise FusionError(f"internal error: cut violates dependence {a}->{b}")
+    cut_arrays = frozenset(n for n in cut.cut if not n.startswith("__dep"))
+    return TwoPartitionResult(partitioning, cut_arrays, bandwidth_cost(graph, partitioning))
+
+
+def _reaches(graph: FusionGraph, src: int, dst: int) -> bool:
+    """True when ``dst`` is dependence-reachable from ``src``."""
+    adj: dict[int, list[int]] = {}
+    for u, v in graph.deps:
+        adj.setdefault(u, []).append(v)
+    stack, seen = [src], {src}
+    while stack:
+        u = stack.pop()
+        if u == dst:
+            return True
+        for v in adj.get(u, ()):
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return False
+
+
+def orient_terminals(graph: FusionGraph, u: int, v: int) -> tuple[int, int]:
+    """Order a fusion-preventing pair consistently with dependences."""
+    if _reaches(graph, u, v):
+        return u, v
+    if _reaches(graph, v, u):
+        return v, u
+    return (u, v) if u < v else (v, u)

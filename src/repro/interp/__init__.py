@@ -1,0 +1,14 @@
+"""Execution: the reference interpreter and the machine executor."""
+
+from .counters import HardwareCounters
+from .evaluator import EvalResult, Evaluator, evaluate
+from .executor import MachineRun, execute
+
+__all__ = [
+    "EvalResult",
+    "Evaluator",
+    "HardwareCounters",
+    "MachineRun",
+    "evaluate",
+    "execute",
+]

@@ -1,0 +1,63 @@
+"""Hardware-counter facade.
+
+The paper derives program balance "by measuring the number of flops,
+register loads/stores and cache misses/writebacks through hardware counters
+on SGI Origin2000". :class:`HardwareCounters` presents the simulated run in
+exactly those terms, one counter block per machine, so the balance model
+reads the same quantities the authors read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.cache import CacheStats
+
+
+@dataclass(frozen=True)
+class HardwareCounters:
+    """Counter values of one simulated run."""
+
+    machine: str
+    graduated_flops: int
+    loads: int  # element loads issued by the program
+    stores: int  # element stores issued by the program
+    level_stats: tuple[CacheStats, ...]  # per cache level, L1 first
+    downstream_bytes: tuple[int, ...]  # traffic below each cache level
+
+    @property
+    def register_bytes(self) -> int:
+        """Register<->L1 traffic: 8 bytes per element load/store."""
+        return 8 * (self.loads + self.stores)
+
+    @property
+    def channel_bytes(self) -> tuple[int, ...]:
+        """Bytes per channel, register channel first — the exact inputs of
+        program balance (bytes per flop per level)."""
+        return (self.register_bytes, *self.downstream_bytes)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.downstream_bytes[-1]
+
+    def misses(self, level: int) -> int:
+        return self.level_stats[level].misses
+
+    def writebacks(self, level: int) -> int:
+        return self.level_stats[level].writebacks
+
+    def describe(self) -> str:
+        rows = [
+            f"counters[{self.machine}]: flops={self.graduated_flops} "
+            f"loads={self.loads} stores={self.stores}"
+        ]
+        for i, st in enumerate(self.level_stats):
+            rows.append(
+                f"  L{i + 1}: accesses={st.accesses} misses={st.misses} "
+                f"writebacks={st.writebacks} miss_rate={st.miss_rate:.4f}"
+            )
+        rows.append(
+            "  bytes/channel: "
+            + ", ".join(str(b) for b in self.channel_bytes)
+        )
+        return "\n".join(rows)

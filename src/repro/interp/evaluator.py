@@ -1,0 +1,202 @@
+"""Reference semantic interpreter.
+
+Runs an IR program directly over NumPy storage, element by element, and
+returns its observable result (output scalars and output arrays). This is
+the oracle the transformation verifier uses: a rewrite is accepted only if
+original and transformed programs produce identical observables on the same
+inputs.
+
+``read(...)`` statements consume values from a deterministic positional
+input stream: the k-th executed read receives the k-th stream value. All
+of the paper's transformations preserve the relative order of reads, so
+two equivalent programs see identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..lang.expr import (
+    BINOPS,
+    INTRINSICS,
+    UNOPS,
+    ArrayRef,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    IndexValue,
+    ScalarRef,
+    UnaryOp,
+)
+from ..lang.program import Program
+from ..lang.stmt import Assign, ExternalRead, If, Loop, Stmt
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Observable result of one interpreted run."""
+
+    scalars: Mapping[str, float]
+    arrays: Mapping[str, np.ndarray]
+
+    def close_to(self, other: "EvalResult", rtol: float = 1e-9, atol: float = 1e-12) -> bool:
+        """Numerical equality of the *common observables* of two runs.
+
+        Transformed programs may drop or rename dead arrays, so only keys
+        present in both results are compared; the verifier checks key sets
+        according to the transformation's contract.
+        """
+        for k in set(self.scalars) & set(other.scalars):
+            if not np.isclose(self.scalars[k], other.scalars[k], rtol=rtol, atol=atol):
+                return False
+        for k in set(self.arrays) & set(other.arrays):
+            a, b = self.arrays[k], other.arrays[k]
+            if a.shape != b.shape or not np.allclose(a, b, rtol=rtol, atol=atol):
+                return False
+        return True
+
+
+def default_input_stream(seed: int = 20001) -> Iterator[float]:
+    """Deterministic pseudo-random input values in [0.5, 1.5)."""
+    rng = np.random.default_rng(seed)
+    while True:
+        block = rng.random(1024) + 0.5
+        yield from block.tolist()
+
+
+class Evaluator:
+    """Interprets one program instance."""
+
+    def __init__(
+        self,
+        program: Program,
+        params: Mapping[str, int] | None = None,
+        input_seed: int = 20001,
+        init_arrays: bool = True,
+    ):
+        self.program = program
+        self.params = program.bind_params(params)
+        self._input = default_input_stream(input_seed)
+        self.arrays: dict[str, np.ndarray] = {}
+        for decl in program.arrays:
+            extents = decl.extents(self.params)
+            if init_arrays:
+                # Deterministic nonzero initial contents, seeded per array
+                # *name* so that adding/removing sibling arrays (as the
+                # storage transforms do) never changes the values a
+                # surviving array starts with.
+                import zlib
+
+                def name_stream(name: str, shape):
+                    rng = np.random.default_rng(
+                        [input_seed + 1, zlib.crc32(name.encode())]
+                    )
+                    return rng.random(shape) + 0.5
+
+                if decl.init_names is not None:
+                    # Packed (regrouped) array: slot j inherits the values
+                    # its standalone source array would have had.
+                    data = np.empty(extents)
+                    for j, source in enumerate(decl.init_names):
+                        data[..., j] = name_stream(source, extents[:-1])
+                else:
+                    data = name_stream(decl.name, extents)
+            else:
+                data = np.zeros(extents)
+            self.arrays[decl.name] = data.astype(decl.dtype.numpy_dtype)
+        self.scalars: dict[str, float] = {s.name: float(s.initial) for s in program.scalars}
+
+    # -- running ---------------------------------------------------------------
+    def run(self) -> EvalResult:
+        env: dict[str, int] = dict(self.params)
+        for stmt in self.program.body:
+            self._exec(stmt, env)
+        out_scalars = {name: self.scalars[name] for name in self.program.output_scalars}
+        out_arrays = {
+            name: self.arrays[name].copy() for name in self.program.output_arrays
+        }
+        return EvalResult(out_scalars, out_arrays)
+
+    # -- statements --------------------------------------------------------------
+    def _exec(self, stmt: Stmt, env: dict[str, int]) -> None:
+        if isinstance(stmt, Assign):
+            value = self._eval(stmt.rhs, env)
+            if isinstance(stmt.lhs, ArrayRef):
+                self._store(stmt.lhs, env, value)
+            else:
+                self.scalars[stmt.lhs.name] = value
+        elif isinstance(stmt, ExternalRead):
+            value = next(self._input)
+            if isinstance(stmt.lhs, ArrayRef):
+                self._store(stmt.lhs, env, value)
+            else:
+                self.scalars[stmt.lhs.name] = value
+        elif isinstance(stmt, If):
+            branch = stmt.then if stmt.cond.evaluate(env) else stmt.orelse
+            for s in branch:
+                self._exec(s, env)
+        elif isinstance(stmt, Loop):
+            lo = stmt.lower.evaluate(env)
+            hi = stmt.upper.evaluate(env)
+            if stmt.var in env:
+                raise ExecutionError(f"loop variable {stmt.var!r} already bound")
+            for v in range(lo, hi):
+                env[stmt.var] = v
+                for s in stmt.body:
+                    self._exec(s, env)
+            env.pop(stmt.var, None)
+        else:
+            raise ExecutionError(f"cannot interpret {type(stmt).__name__}")
+
+    def _index(self, ref: ArrayRef, env: dict[str, int]) -> tuple[int, ...]:
+        try:
+            data = self.arrays[ref.array]
+        except KeyError as exc:
+            raise ExecutionError(f"undeclared array {ref.array!r}") from exc
+        idx = tuple(sub.evaluate(env) for sub in ref.index)
+        for d, (i, ext) in enumerate(zip(idx, data.shape)):
+            if not (0 <= i < ext):
+                raise ExecutionError(
+                    f"{self.program.name}: {ref} index {idx} out of bounds "
+                    f"for shape {data.shape} (dim {d})"
+                )
+        return idx
+
+    def _store(self, ref: ArrayRef, env: dict[str, int], value: float) -> None:
+        self.arrays[ref.array][self._index(ref, env)] = value
+
+    # -- expressions ----------------------------------------------------------------
+    def _eval(self, expr: Expr, env: dict[str, int]) -> float:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, ScalarRef):
+            try:
+                return self.scalars[expr.name]
+            except KeyError as exc:
+                raise ExecutionError(f"undeclared scalar {expr.name!r}") from exc
+        if isinstance(expr, IndexValue):
+            return float(expr.affine.evaluate(env))
+        if isinstance(expr, ArrayRef):
+            return float(self.arrays[expr.array][self._index(expr, env)])
+        if isinstance(expr, BinOp):
+            return float(BINOPS[expr.op](self._eval(expr.lhs, env), self._eval(expr.rhs, env)))
+        if isinstance(expr, UnaryOp):
+            return float(UNOPS[expr.op](self._eval(expr.operand, env)))
+        if isinstance(expr, Call):
+            impl, _ = INTRINSICS[expr.func]
+            return float(impl(*(self._eval(a, env) for a in expr.args)))
+        raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+
+
+def evaluate(
+    program: Program,
+    params: Mapping[str, int] | None = None,
+    input_seed: int = 20001,
+) -> EvalResult:
+    """Interpret ``program`` and return its observables."""
+    return Evaluator(program, params, input_seed).run()

@@ -1,0 +1,139 @@
+"""Machine executor: program x machine -> counters, traffic and time.
+
+This is the measurement instrument of the reproduction: it generates the
+program's exact access trace, drives it through the machine's cache
+hierarchy, and converts the resulting byte counts into execution time with
+the bandwidth-bound model (plus the latency models for comparison runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import ExecutionError
+from ..lang.program import Program
+from ..machine.hierarchy import Hierarchy
+from ..machine.layout import LayoutPolicy, MemoryLayout, build_layout
+from ..machine.spec import MachineSpec
+from ..machine.timing import (
+    TimeBreakdown,
+    bandwidth_bound_time,
+    latency_bound_time,
+    overlap_time,
+)
+from ..trace.generator import TraceGenerator
+from .counters import HardwareCounters
+
+
+@dataclass(frozen=True)
+class MachineRun:
+    """Everything measured from one simulated execution."""
+
+    program: str
+    machine: MachineSpec
+    params: Mapping[str, int]
+    counters: HardwareCounters
+    time: TimeBreakdown
+    latency_time: float
+    overlap4_time: float
+
+    @property
+    def seconds(self) -> float:
+        """Simulated execution time under the bandwidth-bound model."""
+        return self.time.total
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Memory traffic divided by execution time (bytes/second) — the
+        quantity Figure 3 plots."""
+        return self.counters.memory_bytes / self.seconds if self.seconds else 0.0
+
+    @property
+    def mflops(self) -> float:
+        return self.counters.graduated_flops / self.seconds / 1e6 if self.seconds else 0.0
+
+    @property
+    def cpu_utilization(self) -> float:
+        return self.time.cpu_utilization
+
+    def describe(self) -> str:
+        return (
+            f"{self.program} on {self.machine.name}: {self.seconds * 1e3:.3f} ms "
+            f"(bound: {self.time.bound}, {self.mflops:.1f} Mflop/s, "
+            f"effective mem bw {self.effective_bandwidth / 1e6:.1f} MB/s)"
+        )
+
+
+def execute(
+    program: Program,
+    machine: MachineSpec,
+    params: Mapping[str, int] | None = None,
+    layout: MemoryLayout | None = None,
+    layout_policy: LayoutPolicy | None = None,
+    passes: int = 1,
+    warmup_passes: int = 0,
+    flush: bool = True,
+    validate: bool = True,
+) -> MachineRun:
+    """Run ``program`` on ``machine`` and measure it.
+
+    Args:
+        passes: how many times the program body is executed back to back
+            (kernels are conventionally timed over repeated passes).
+        warmup_passes: passes run before counters start (steady-state
+            measurement; contents persist, statistics reset).
+        flush: drain dirty lines at the end so written data reaches memory
+            (counted as writeback traffic, as a real timed run would pay).
+        layout / layout_policy: explicit placement, or a policy override;
+            default is the machine's default layout policy.
+    """
+    bound = program.bind_params(params)
+    if layout is None:
+        layout = build_layout(program, bound, layout_policy or machine.default_layout)
+    gen = TraceGenerator(program, bound, layout, validate=validate)
+    trace = gen.generate()
+    if len(trace) == 0 and trace.flops == 0:
+        raise ExecutionError(f"program {program.name!r} generates no work")
+
+    hierarchy = Hierarchy.from_spec(machine)
+    for _ in range(warmup_passes):
+        hierarchy.run_trace(trace.addresses, trace.is_write)
+    if warmup_passes:
+        for cache in hierarchy.caches:
+            cache.reset_stats()
+
+    for _ in range(passes):
+        hierarchy.run_trace(trace.addresses, trace.is_write)
+    if flush:
+        hierarchy.flush()
+    result = hierarchy.result()
+
+    flops = trace.flops * passes
+    loads = trace.loads * passes
+    stores = trace.stores * passes
+    counters = HardwareCounters(
+        machine=machine.name,
+        graduated_flops=flops,
+        loads=loads,
+        stores=stores,
+        level_stats=result.level_stats,
+        downstream_bytes=result.downstream_bytes,
+    )
+    time = bandwidth_bound_time(
+        machine, flops, counters.register_bytes, result.downstream_bytes
+    )
+    misses = [st.misses for st in result.level_stats]
+    lat = latency_bound_time(machine, flops, misses)
+    ov4 = overlap_time(
+        machine, flops, counters.register_bytes, result.downstream_bytes, misses, 4
+    )
+    return MachineRun(
+        program=program.name,
+        machine=machine,
+        params=dict(bound),
+        counters=counters,
+        time=time,
+        latency_time=lat,
+        overlap4_time=ov4,
+    )

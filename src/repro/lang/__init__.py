@@ -1,0 +1,67 @@
+"""The loop IR: affine expressions, AST, builder, parser and printer.
+
+This package is the substrate everything else operates on — the paper's
+compiler transformations are source-to-source rewrites of these programs,
+and the trace engine converts them into memory-access streams.
+"""
+
+from .affine import Affine, And, Cmp, Condition, conjoin
+from .builder import ArrayHandle, ProgramBuilder, Sym, call
+from .expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    IndexValue,
+    ScalarRef,
+    UnaryOp,
+    array_refs,
+    as_expr,
+    flop_count,
+    scalar_refs,
+)
+from .parser import parse
+from .printer import render, render_expr
+from .program import Program
+from .stmt import Assign, ExternalRead, If, Loop, Stmt, innermost_loops, loop_vars, perfect_nest
+from .types import ArrayDecl, DType, ScalarDecl
+
+__all__ = [
+    "Affine",
+    "And",
+    "ArrayDecl",
+    "ArrayHandle",
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Call",
+    "Cmp",
+    "Condition",
+    "Const",
+    "DType",
+    "Expr",
+    "ExternalRead",
+    "If",
+    "IndexValue",
+    "Loop",
+    "Program",
+    "ProgramBuilder",
+    "ScalarDecl",
+    "ScalarRef",
+    "Stmt",
+    "Sym",
+    "UnaryOp",
+    "array_refs",
+    "as_expr",
+    "call",
+    "conjoin",
+    "flop_count",
+    "innermost_loops",
+    "loop_vars",
+    "parse",
+    "perfect_nest",
+    "render",
+    "render_expr",
+    "scalar_refs",
+]

@@ -1,0 +1,55 @@
+"""Static analyses over the loop IR."""
+
+from .arrays import (
+    AccessSets,
+    access_sets,
+    arrays_touched,
+    count_leaf_statements,
+    program_arrays_used,
+    refs_of_array,
+    scalar_access_sets,
+    stmt_read_refs,
+    stmt_write_refs,
+    top_level_access_sets,
+)
+from .dependence import Dependence, DependenceGraph, build_dependence_graph
+from .distance import OffsetProfile, fused_distance, offset_profile
+from .flops import StaticCounts, static_counts, static_flops
+from .legality import (
+    FusionConstraints,
+    fusion_constraints,
+    fusion_preventing_pairs,
+    headers_conformable,
+)
+from .liveness import LiveRange, dead_after, live_ranges, local_arrays, unused_arrays
+
+__all__ = [
+    "AccessSets",
+    "Dependence",
+    "DependenceGraph",
+    "FusionConstraints",
+    "LiveRange",
+    "OffsetProfile",
+    "StaticCounts",
+    "access_sets",
+    "arrays_touched",
+    "build_dependence_graph",
+    "count_leaf_statements",
+    "dead_after",
+    "fused_distance",
+    "fusion_constraints",
+    "fusion_preventing_pairs",
+    "headers_conformable",
+    "live_ranges",
+    "local_arrays",
+    "offset_profile",
+    "program_arrays_used",
+    "refs_of_array",
+    "scalar_access_sets",
+    "static_counts",
+    "static_flops",
+    "stmt_read_refs",
+    "stmt_write_refs",
+    "top_level_access_sets",
+    "unused_arrays",
+]

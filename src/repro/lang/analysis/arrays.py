@@ -1,0 +1,129 @@
+"""Read/write-set analysis over IR statements.
+
+These are the raw facts every other analysis consumes: which arrays (and
+scalars) a statement or loop nest reads and writes, and the individual
+references in evaluation order.
+
+Evaluation order of one statement is: all RHS reads left-to-right, then the
+LHS write — matching how the trace engine interleaves accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ...errors import AnalysisError
+from ..expr import ArrayRef, ScalarRef, array_refs, scalar_refs
+from ..program import Program
+from ..stmt import Assign, ExternalRead, If, Loop, Stmt
+
+
+@dataclass(frozen=True)
+class AccessSets:
+    """Array names read and written somewhere inside a statement."""
+
+    reads: frozenset[str]
+    writes: frozenset[str]
+
+    @property
+    def touched(self) -> frozenset[str]:
+        return self.reads | self.writes
+
+    def __or__(self, other: "AccessSets") -> "AccessSets":
+        return AccessSets(self.reads | other.reads, self.writes | other.writes)
+
+
+EMPTY_ACCESS = AccessSets(frozenset(), frozenset())
+
+
+def stmt_read_refs(stmt: Stmt) -> list[ArrayRef]:
+    """Array references *read* directly by a leaf statement (not nested)."""
+    if isinstance(stmt, Assign):
+        return array_refs(stmt.rhs)
+    if isinstance(stmt, ExternalRead):
+        return []
+    raise AnalysisError(f"stmt_read_refs expects a leaf statement, got {type(stmt).__name__}")
+
+
+def stmt_write_refs(stmt: Stmt) -> list[ArrayRef]:
+    """Array references *written* directly by a leaf statement."""
+    if isinstance(stmt, Assign):
+        return [stmt.lhs] if isinstance(stmt.lhs, ArrayRef) else []
+    if isinstance(stmt, ExternalRead):
+        return [stmt.lhs] if isinstance(stmt.lhs, ArrayRef) else []
+    raise AnalysisError(f"stmt_write_refs expects a leaf statement, got {type(stmt).__name__}")
+
+
+def access_sets(node: Stmt | Sequence[Stmt]) -> AccessSets:
+    """Array read/write sets of a statement (recursing into loops/guards)."""
+    reads: set[str] = set()
+    writes: set[str] = set()
+    stmts: Iterable[Stmt] = [node] if isinstance(node, Stmt) else node
+    for top in stmts:
+        for s in top.walk():
+            if isinstance(s, Assign):
+                reads.update(r.array for r in array_refs(s.rhs))
+                if isinstance(s.lhs, ArrayRef):
+                    writes.add(s.lhs.array)
+            elif isinstance(s, ExternalRead) and isinstance(s.lhs, ArrayRef):
+                writes.add(s.lhs.array)
+    return AccessSets(frozenset(reads), frozenset(writes))
+
+
+def scalar_access_sets(node: Stmt | Sequence[Stmt]) -> AccessSets:
+    """Scalar read/write sets of a statement (recursing into loops/guards)."""
+    reads: set[str] = set()
+    writes: set[str] = set()
+    stmts: Iterable[Stmt] = [node] if isinstance(node, Stmt) else node
+    for top in stmts:
+        for s in top.walk():
+            if isinstance(s, Assign):
+                reads.update(r.name for r in scalar_refs(s.rhs))
+                if isinstance(s.lhs, ScalarRef):
+                    writes.add(s.lhs.name)
+            elif isinstance(s, ExternalRead) and isinstance(s.lhs, ScalarRef):
+                writes.add(s.lhs.name)
+    return AccessSets(frozenset(reads), frozenset(writes))
+
+
+def arrays_touched(node: Stmt | Sequence[Stmt]) -> frozenset[str]:
+    """All distinct arrays accessed anywhere inside ``node``.
+
+    This is the quantity the paper's fusion objective sums per partition:
+    "the number of distinct arrays in all partitions".
+    """
+    return access_sets(node).touched
+
+
+def refs_of_array(node: Stmt, array: str) -> tuple[list[ArrayRef], list[ArrayRef]]:
+    """(read refs, write refs) of one array anywhere inside ``node``."""
+    reads: list[ArrayRef] = []
+    writes: list[ArrayRef] = []
+    for s in node.walk():
+        if isinstance(s, Assign):
+            reads.extend(r for r in array_refs(s.rhs) if r.array == array)
+            if isinstance(s.lhs, ArrayRef) and s.lhs.array == array:
+                writes.append(s.lhs)
+        elif (
+            isinstance(s, ExternalRead)
+            and isinstance(s.lhs, ArrayRef)
+            and s.lhs.array == array
+        ):
+            writes.append(s.lhs)
+    return reads, writes
+
+
+def count_leaf_statements(node: Stmt) -> int:
+    """Number of leaf (Assign/ExternalRead) statements inside ``node``."""
+    return sum(1 for s in node.walk() if isinstance(s, (Assign, ExternalRead)))
+
+
+def top_level_access_sets(program: Program) -> list[AccessSets]:
+    """Access sets for each top-level statement of the program, in order."""
+    return [access_sets(s) for s in program.body]
+
+
+def program_arrays_used(program: Program) -> frozenset[str]:
+    """Arrays actually referenced by the program body."""
+    return arrays_touched(list(program.body)) if program.body else frozenset()

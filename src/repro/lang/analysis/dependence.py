@@ -1,0 +1,101 @@
+"""Data dependences between top-level statements (loop nests).
+
+The fusion graph of the paper has one node per loop and directed edges for
+data dependences. At this granularity a dependence exists between top-level
+statements ``s_i`` (earlier) and ``s_j`` (later) when they touch a common
+array or scalar and at least one of the two accesses is a write:
+
+* flow (true):  ``s_i`` writes X, ``s_j`` reads X
+* anti:         ``s_i`` reads X,  ``s_j`` writes X
+* output:       both write X
+
+Scalar reductions (``sum += ...`` in two loops) produce flow+output
+dependences through the scalar, which serialize the loops just as the
+paper's Figure 4 shows for ``sum`` between loops 5 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..program import Program
+from .arrays import access_sets, scalar_access_sets
+
+KINDS = ("flow", "anti", "output")
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A dependence from top-level statement ``src`` to later ``dst``."""
+
+    src: int
+    dst: int
+    kind: str
+    variables: frozenset[str]
+    scalar: bool = False
+
+    def __post_init__(self) -> None:
+        assert self.kind in KINDS
+        assert self.src < self.dst, "dependences point forward in program order"
+
+    def __str__(self) -> str:
+        what = "scalar" if self.scalar else "array"
+        return f"{self.kind} dep {self.src}->{self.dst} via {what} {sorted(self.variables)}"
+
+
+@dataclass(frozen=True)
+class DependenceGraph:
+    """All dependences of a program, with adjacency helpers."""
+
+    n_nodes: int
+    edges: tuple[Dependence, ...]
+
+    def between(self, src: int, dst: int) -> list[Dependence]:
+        return [e for e in self.edges if e.src == src and e.dst == dst]
+
+    def predecessors(self, node: int) -> frozenset[int]:
+        return frozenset(e.src for e in self.edges if e.dst == node)
+
+    def successors(self, node: int) -> frozenset[int]:
+        return frozenset(e.dst for e in self.edges if e.src == node)
+
+    def pairs(self) -> frozenset[tuple[int, int]]:
+        """Distinct (src, dst) pairs with at least one dependence."""
+        return frozenset((e.src, e.dst) for e in self.edges)
+
+    def transitive_pairs(self) -> frozenset[tuple[int, int]]:
+        """Transitive closure of :meth:`pairs` (src precedes dst)."""
+        reach: dict[int, set[int]] = {i: set() for i in range(self.n_nodes)}
+        for src, dst in sorted(self.pairs(), reverse=True):
+            reach[src].add(dst)
+            reach[src] |= reach[dst]
+        return frozenset((s, d) for s, targets in reach.items() for d in targets)
+
+    def __iter__(self) -> Iterator[Dependence]:
+        return iter(self.edges)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+def build_dependence_graph(program: Program) -> DependenceGraph:
+    """Dependences among the top-level statements of ``program``."""
+    body = program.body
+    array_sets = [access_sets(s) for s in body]
+    scalar_sets = [scalar_access_sets(s) for s in body]
+    edges: list[Dependence] = []
+    for j in range(len(body)):
+        for i in range(j):
+            for sets, is_scalar in ((array_sets, False), (scalar_sets, True)):
+                a, b = sets[i], sets[j]
+                flow = a.writes & b.reads
+                anti = a.reads & b.writes
+                output = a.writes & b.writes
+                if flow:
+                    edges.append(Dependence(i, j, "flow", frozenset(flow), is_scalar))
+                if anti:
+                    edges.append(Dependence(i, j, "anti", frozenset(anti), is_scalar))
+                if output:
+                    edges.append(Dependence(i, j, "output", frozenset(output), is_scalar))
+    return DependenceGraph(len(body), tuple(edges))

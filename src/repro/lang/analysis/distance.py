@@ -1,0 +1,165 @@
+"""Dependence-distance analysis inside a single loop nest.
+
+Used for two purposes:
+
+* **fusion legality** — fusing two loops is illegal if a value a later loop
+  reads at iteration ``t`` would only be produced at a later iteration of
+  the fused loop (negative fused distance);
+* **storage reduction** — an array can be shrunk to a circular buffer of
+  ``d + 1`` elements per leading position when every read of an element
+  happens at most ``d`` iterations after its write (Figure 6's ``a3[N]``
+  carries values from one ``j`` iteration to the next: ``d = 1``).
+
+The analysis handles the affine-subscript form our programs use: each
+subscript of the analyzed dimension must be ``var + offset`` (coefficient
+exactly one in the chosen loop variable, no other loop variables in that
+subscript position).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import AnalysisError
+from ..affine import Affine
+from ..expr import ArrayRef
+from ..stmt import Loop, Stmt
+from .arrays import refs_of_array
+
+
+@dataclass(frozen=True)
+class OffsetProfile:
+    """Subscript offsets of one array in one loop dimension.
+
+    ``write_offsets``/``read_offsets`` hold the constant part of each
+    ``var + offset`` subscript; ``uniform`` is False when any reference is
+    not of that form (coefficient != 1, or the subscript mixes variables
+    beyond parameters).
+    """
+
+    array: str
+    var: str
+    dim: int
+    write_offsets: tuple[int, ...]
+    read_offsets: tuple[int, ...]
+    uniform: bool
+
+    @property
+    def all_offsets(self) -> tuple[int, ...]:
+        return self.write_offsets + self.read_offsets
+
+    def max_flow_distance(self) -> int | None:
+        """Largest #iterations between a write and a later read of the same
+        element, or None if there is no write→read pair (or not uniform).
+
+        A write ``a[v + kw]`` at iteration ``v`` defines element ``e = v+kw``;
+        a read ``a[v' + kr]`` uses element ``e`` at ``v' = v + (kw - kr)``.
+        Distance ``kw - kr`` < 0 means the read precedes the write (upward
+        exposed use of an initial value).
+        """
+        if not self.uniform or not self.write_offsets or not self.read_offsets:
+            return None
+        return max(kw - kr for kw in self.write_offsets for kr in self.read_offsets)
+
+    def min_flow_distance(self) -> int | None:
+        if not self.uniform or not self.write_offsets or not self.read_offsets:
+            return None
+        return min(kw - kr for kw in self.write_offsets for kr in self.read_offsets)
+
+
+def _offset_in_var(sub: Affine, var: str, other_loop_vars: frozenset[str]) -> int | None:
+    """Offset ``k`` when ``sub == var + k`` (+ parameter terms allowed only
+    if constant); None when the subscript is not uniform in ``var``."""
+    if sub.coeff(var) != 1:
+        return None
+    rest = sub - Affine.var(var)
+    # Any other loop variable in this subscript makes per-iteration element
+    # identity depend on sibling loops; reject.
+    if rest.symbols & other_loop_vars:
+        return None
+    if not rest.is_constant:
+        # Parameter-relative offsets (e.g. a[i, N-1]) are constant at run
+        # time but unknown statically; treat as non-uniform.
+        return None
+    return rest.const
+
+
+def offset_profile(node: Stmt, array: str, var: str, dim: int, loop_vars: frozenset[str]) -> OffsetProfile:
+    """Collect subscript offsets of ``array`` in dimension ``dim`` w.r.t. ``var``."""
+    reads, writes = refs_of_array(node, array)
+    other = frozenset(v for v in loop_vars if v != var)
+
+    def collect(refs: list[ArrayRef]) -> tuple[tuple[int, ...], bool]:
+        offsets: list[int] = []
+        ok = True
+        for ref in refs:
+            if dim >= ref.rank:
+                raise AnalysisError(f"{ref} has no dimension {dim}")
+            k = _offset_in_var(ref.index[dim], var, other)
+            if k is None:
+                ok = False
+            else:
+                offsets.append(k)
+        return tuple(offsets), ok
+
+    w, w_ok = collect(writes)
+    r, r_ok = collect(reads)
+    return OffsetProfile(array, var, dim, w, r, w_ok and r_ok)
+
+
+def fused_distance(
+    earlier: Stmt,
+    later: Stmt,
+    array: str,
+    var_earlier: str,
+    var_later: str,
+    dim: int = 0,
+) -> int | None:
+    """Dependence distance for ``array`` if the two loops were fused.
+
+    With the earlier loop writing ``a[v + kw]`` and the later loop reading
+    ``a[u + kr]``, fusing on a common induction variable ``t`` means the
+    value of element ``e`` is produced at ``t = e - kw`` and consumed at
+    ``t = e - kr``; the fused distance is ``kw - kr``. A *negative* value
+    for any (write, read) pair means fusion would make the consumer run
+    before the producer — a fusion-preventing dependence.
+
+    Returns the minimum distance over all pairs, or None when subscripts
+    are not uniform (caller must be conservative) or there is no pair.
+    """
+    _, writes_e = refs_of_array(earlier, array)
+    reads_l, writes_l = refs_of_array(later, array)
+    pairs: list[int] = []
+    for wref in writes_e:
+        if dim >= wref.rank:
+            return None
+        kw = _offset_in_var(wref.index[dim], var_earlier, frozenset())
+        if kw is None:
+            return None
+        for refs in (reads_l, writes_l):
+            for rref in refs:
+                kr = _offset_in_var(rref.index[dim], var_later, frozenset())
+                if kr is None:
+                    return None
+                pairs.append(kw - kr)
+    # Anti dependences: earlier reads, later writes.
+    reads_e, _ = refs_of_array(earlier, array)
+    for rref in reads_e:
+        if dim >= rref.rank:
+            return None
+        kr = _offset_in_var(rref.index[dim], var_earlier, frozenset())
+        if kr is None:
+            return None
+        for wref in writes_l:
+            kw = _offset_in_var(wref.index[dim], var_later, frozenset())
+            if kw is None:
+                return None
+            pairs.append(kr - kw)
+    if not pairs:
+        return None
+    return min(pairs)
+
+
+def loop_nest_vars(loop: Loop) -> frozenset[str]:
+    """All loop variables bound inside (and including) ``loop``."""
+    return frozenset(s.var for s in loop.walk() if isinstance(s, Loop))

@@ -1,0 +1,87 @@
+"""Static flop and reference counting.
+
+The exact, guard-aware counts come from the trace engine; these static
+estimates ignore guards (they assume every leaf statement executes on every
+iteration of its enclosing loops) and are used for quick what-if analysis
+and as cross-checks in tests (on guard-free programs static == exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..expr import array_refs, flop_count
+from ..program import Program
+from ..stmt import Assign, ExternalRead, If, Loop, Stmt
+
+
+@dataclass(frozen=True)
+class StaticCounts:
+    """Static per-program operation counts (guard-blind upper bound)."""
+
+    flops: int
+    array_loads: int
+    array_stores: int
+
+    @property
+    def array_refs(self) -> int:
+        return self.array_loads + self.array_stores
+
+    def __add__(self, other: "StaticCounts") -> "StaticCounts":
+        return StaticCounts(
+            self.flops + other.flops,
+            self.array_loads + other.array_loads,
+            self.array_stores + other.array_stores,
+        )
+
+    def scaled(self, k: int) -> "StaticCounts":
+        return StaticCounts(self.flops * k, self.array_loads * k, self.array_stores * k)
+
+
+ZERO_COUNTS = StaticCounts(0, 0, 0)
+
+
+def _leaf_counts(stmt: Stmt) -> StaticCounts:
+    if isinstance(stmt, Assign):
+        from ..expr import ArrayRef
+
+        loads = len(array_refs(stmt.rhs))
+        stores = 1 if isinstance(stmt.lhs, ArrayRef) else 0
+        return StaticCounts(flop_count(stmt.rhs), loads, stores)
+    if isinstance(stmt, ExternalRead):
+        from ..expr import ArrayRef
+
+        return StaticCounts(0, 0, 1 if isinstance(stmt.lhs, ArrayRef) else 0)
+    raise TypeError(f"not a leaf statement: {type(stmt).__name__}")
+
+
+def _count(stmt: Stmt, env: Mapping[str, int]) -> StaticCounts:
+    if isinstance(stmt, (Assign, ExternalRead)):
+        return _leaf_counts(stmt)
+    if isinstance(stmt, If):
+        # Guard-blind: count the larger branch (a cheap upper-ish bound that
+        # is exact for the common one-armed guards covering most iterations).
+        then = sum((_count(s, env) for s in stmt.then), ZERO_COUNTS)
+        orelse = sum((_count(s, env) for s in stmt.orelse), ZERO_COUNTS)
+        return then if then.flops + then.array_refs >= orelse.flops + orelse.array_refs else orelse
+    if isinstance(stmt, Loop):
+        # Trip count may depend on enclosing loop vars; evaluate bounds with
+        # unbound loop vars treated via their midpoint is not possible
+        # statically, so we require parameter-only bounds here.
+        trip = stmt.trip_count(env)
+        inner_env = dict(env)
+        inner_env[stmt.var] = stmt.lower.evaluate(env)  # arbitrary binding for nested bounds
+        body = sum((_count(s, inner_env) for s in stmt.body), ZERO_COUNTS)
+        return body.scaled(trip)
+    raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+def static_counts(program: Program, overrides: Mapping[str, int] | None = None) -> StaticCounts:
+    """Static flop/load/store counts for the whole program."""
+    env = program.bind_params(overrides)
+    return sum((_count(s, env) for s in program.body), ZERO_COUNTS)
+
+
+def static_flops(program: Program, overrides: Mapping[str, int] | None = None) -> int:
+    return static_counts(program, overrides).flops

@@ -1,0 +1,128 @@
+"""Fusion legality: conformability and fusion-preventing constraints.
+
+The paper's fusion graph has two edge kinds; this module computes both from
+the IR:
+
+* **dependence edges** — from :mod:`.dependence`;
+* **fusion-preventing edges** — pairs of loops that may not share a
+  partition: non-conformable headers, or a dependence whose fused distance
+  would be negative (the consumer would run before the producer).
+
+Only *top-level loops* participate; a top-level non-loop statement is
+treated as an unfusable singleton.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..affine import Affine
+from ..program import Program
+from ..stmt import Loop
+from .arrays import access_sets
+from .dependence import DependenceGraph, build_dependence_graph
+from .distance import fused_distance
+
+
+@dataclass(frozen=True)
+class FusionConstraints:
+    """Everything a fusion-graph builder needs about one program."""
+
+    n_nodes: int
+    dependences: DependenceGraph
+    fusion_preventing: frozenset[tuple[int, int]]
+    node_arrays: tuple[frozenset[str], ...]
+
+    def prevented(self, i: int, j: int) -> bool:
+        a, b = (i, j) if i < j else (j, i)
+        return (a, b) in self.fusion_preventing
+
+
+def headers_conformable(a: Loop, b: Loop) -> bool:
+    """Two loops can share a fused header iff bounds are identical affine
+    functions (same trip count AND same index range, so subscript offsets
+    keep their meaning)."""
+    return a.lower == b.lower and a.upper == b.upper
+
+
+def _nest_headers(loop: Loop) -> list[Loop]:
+    """The perfect-nest chain of headers starting at ``loop``."""
+    from ..stmt import perfect_nest
+
+    return perfect_nest(loop)
+
+
+def nests_conformable(a: Loop, b: Loop) -> bool:
+    """Perfect nests are conformable when their header chains match level
+    by level up to the shorter depth at level 0 (outer loops must match;
+    deeper mismatch is handled by guard insertion in the fuser, but the
+    outermost header must agree for one-level fusion)."""
+    return headers_conformable(a, b)
+
+
+def fusion_preventing_pairs(program: Program) -> frozenset[tuple[int, int]]:
+    """Pairs (i, j), i<j, of top-level statements that must not be fused."""
+    body = program.body
+    deps = build_dependence_graph(program)
+    dep_pairs = deps.pairs()
+    prevented: set[tuple[int, int]] = set()
+    for j in range(len(body)):
+        for i in range(j):
+            si, sj = body[i], body[j]
+            if not isinstance(si, Loop) or not isinstance(sj, Loop):
+                prevented.add((i, j))
+                continue
+            if not headers_conformable(si, sj):
+                prevented.add((i, j))
+                continue
+            if (i, j) in dep_pairs:
+                for e in deps.between(i, j):
+                    if e.scalar:
+                        # Reduction accumulators (every access in both loops
+                        # is an `s = s + ...`-style update) may interleave:
+                        # fusing reassociates the reduction, which compilers
+                        # accept. Any other scalar flow/anti/output pattern
+                        # prevents fusion.
+                        if not all(
+                            _is_reduction_scalar(si, name)
+                            and _is_reduction_scalar(sj, name)
+                            for name in e.variables
+                        ):
+                            prevented.add((i, j))
+                        continue
+                    for arr in e.variables:
+                        d = fused_distance(si, sj, arr, si.var, sj.var)
+                        if d is None:
+                            # Unanalyzable subscripts: be conservative.
+                            prevented.add((i, j))
+                        elif d < 0:
+                            prevented.add((i, j))
+    return frozenset(prevented)
+
+
+def _is_reduction_scalar(stmt: Loop, name: str) -> bool:
+    """True when every access to scalar ``name`` inside ``stmt`` is an
+    associative update (the scalar is read only inside statements that also
+    write it: ``s = s + ...``)."""
+    from ..expr import ScalarRef, scalar_refs
+    from ..stmt import Assign
+
+    for s in stmt.walk():
+        if not isinstance(s, Assign):
+            continue
+        reads = any(r.name == name for r in scalar_refs(s.rhs))
+        writes = isinstance(s.lhs, ScalarRef) and s.lhs.name == name
+        if reads and not writes:
+            return False
+        if writes and not reads:
+            # A plain overwrite is not a reduction update.
+            return False
+    return True
+
+
+def fusion_constraints(program: Program) -> FusionConstraints:
+    """Bundle dependences, preventing pairs, and per-node array sets."""
+    deps = build_dependence_graph(program)
+    prevented = fusion_preventing_pairs(program)
+    node_arrays = tuple(access_sets(s).touched for s in program.body)
+    return FusionConstraints(len(program.body), deps, prevented, node_arrays)

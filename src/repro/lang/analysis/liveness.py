@@ -1,0 +1,91 @@
+"""Array liveness across top-level statements.
+
+Store elimination (paper §3.3) needs to know where the *last segment of an
+array's live range* falls: if the last read of an array is inside (or
+before) a given loop and the array is not a program output, the values
+written in that loop are dead afterwards and the writeback can be removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..program import Program
+from .arrays import access_sets
+
+
+@dataclass(frozen=True)
+class LiveRange:
+    """Positions (top-level statement indices) where one array is accessed."""
+
+    array: str
+    reads: tuple[int, ...]
+    writes: tuple[int, ...]
+
+    @property
+    def first_access(self) -> int | None:
+        touched = self.reads + self.writes
+        return min(touched) if touched else None
+
+    @property
+    def last_access(self) -> int | None:
+        touched = self.reads + self.writes
+        return max(touched) if touched else None
+
+    @property
+    def last_read(self) -> int | None:
+        return max(self.reads) if self.reads else None
+
+    @property
+    def last_write(self) -> int | None:
+        return max(self.writes) if self.writes else None
+
+
+def live_ranges(program: Program) -> dict[str, LiveRange]:
+    """Live range of every declared array over top-level statement indices."""
+    reads: dict[str, list[int]] = {a.name: [] for a in program.arrays}
+    writes: dict[str, list[int]] = {a.name: [] for a in program.arrays}
+    for idx, stmt in enumerate(program.body):
+        sets = access_sets(stmt)
+        for name in sets.reads:
+            reads[name].append(idx)
+        for name in sets.writes:
+            writes[name].append(idx)
+    return {
+        name: LiveRange(name, tuple(reads[name]), tuple(writes[name]))
+        for name in reads
+    }
+
+
+def dead_after(program: Program, array: str, position: int) -> bool:
+    """True when ``array``'s values cannot be observed after top-level
+    statement ``position``: it is not a program output and no later
+    statement reads it."""
+    if array in program.outputs:
+        return False
+    lr = live_ranges(program).get(array)
+    if lr is None:
+        return True
+    return all(r <= position for r in lr.reads)
+
+
+def local_arrays(program: Program) -> frozenset[str]:
+    """Arrays whose entire live range sits inside a single top-level
+    statement and that are not outputs — candidates for storage reduction."""
+    out: set[str] = set()
+    for name, lr in live_ranges(program).items():
+        if name in program.outputs:
+            continue
+        positions = set(lr.reads) | set(lr.writes)
+        if positions and len(positions) == 1:
+            out.add(name)
+    return frozenset(out)
+
+
+def unused_arrays(program: Program) -> frozenset[str]:
+    """Declared arrays never referenced by the body."""
+    out: set[str] = set()
+    for name, lr in live_ranges(program).items():
+        if not lr.reads and not lr.writes:
+            out.add(name)
+    return frozenset(out)

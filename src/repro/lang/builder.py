@@ -1,0 +1,246 @@
+"""Fluent builder API for constructing IR programs.
+
+Example::
+
+    b = ProgramBuilder("fig7", params={"N": 100000})
+    res = b.array("res", ("N",))
+    data = b.array("data", ("N",))
+    total = b.scalar("sum", output=True)
+    with b.loop("i", 0, "N") as i:
+        b.assign(res[i], res[i] + data[i])
+    with b.loop("i", 0, "N") as i:
+        b.assign(total, total + res[i])
+    prog = b.build()
+
+Loop variables come back as :class:`Sym` handles that support affine
+arithmetic (``i + 1``, ``2 * i``) for subscripts/bounds and comparisons
+(``i < n - 1``) for guards.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Mapping, Sequence, Union
+
+from ..errors import IRError
+from .affine import Affine, AffineLike, Cmp, Condition
+from .expr import ArrayRef, Call, Expr, ExprLike, IndexValue, ScalarRef, as_expr
+from .program import Program
+from .stmt import Assign, ExternalRead, If, Loop, Stmt
+from .types import ArrayDecl, DType, ScalarDecl
+
+
+class Sym:
+    """An affine value handle (loop variable, parameter, or combination)."""
+
+    __slots__ = ("affine",)
+
+    def __init__(self, affine: AffineLike):
+        self.affine = Affine.of(affine)
+
+    # affine arithmetic -> Sym
+    def __add__(self, other: "SymLike") -> "Sym":
+        return Sym(self.affine + _affine_of(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "SymLike") -> "Sym":
+        return Sym(self.affine - _affine_of(other))
+
+    def __rsub__(self, other: "SymLike") -> "Sym":
+        return Sym(_affine_of(other) - self.affine)
+
+    def __mul__(self, k: int) -> "Sym":
+        return Sym(self.affine * k)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Sym":
+        return Sym(-self.affine)
+
+    # comparisons -> guard conditions
+    def __lt__(self, other: "SymLike") -> Cmp:
+        return Cmp("<", self.affine, _affine_of(other))
+
+    def __le__(self, other: "SymLike") -> Cmp:
+        return Cmp("<=", self.affine, _affine_of(other))
+
+    def __gt__(self, other: "SymLike") -> Cmp:
+        return Cmp(">", self.affine, _affine_of(other))
+
+    def __ge__(self, other: "SymLike") -> Cmp:
+        return Cmp(">=", self.affine, _affine_of(other))
+
+    def eq(self, other: "SymLike") -> Cmp:
+        return Cmp("==", self.affine, _affine_of(other))
+
+    def ne(self, other: "SymLike") -> Cmp:
+        return Cmp("!=", self.affine, _affine_of(other))
+
+    def as_value(self) -> IndexValue:
+        """Use this affine quantity as a floating-point value in expressions."""
+        return IndexValue(self.affine)
+
+    def __str__(self) -> str:
+        return str(self.affine)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Sym({self.affine})"
+
+
+SymLike = Union[Sym, Affine, int, str]
+SubscriptLike = SymLike
+
+
+def _affine_of(value: SymLike) -> Affine:
+    if isinstance(value, Sym):
+        return value.affine
+    return Affine.of(value)
+
+
+class ArrayHandle:
+    """Subscriptable handle returned by :meth:`ProgramBuilder.array`."""
+
+    __slots__ = ("decl",)
+
+    def __init__(self, decl: ArrayDecl):
+        self.decl = decl
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    def __getitem__(self, subs: SubscriptLike | tuple[SubscriptLike, ...]) -> ArrayRef:
+        if not isinstance(subs, tuple):
+            subs = (subs,)
+        if len(subs) != self.decl.rank:
+            raise IRError(
+                f"array {self.name!r} has rank {self.decl.rank}, got {len(subs)} subscripts"
+            )
+        return ArrayRef(self.name, tuple(_affine_of(s) for s in subs))
+
+
+class ProgramBuilder:
+    """Incrementally builds an immutable :class:`Program`."""
+
+    def __init__(self, name: str, params: Mapping[str, int] | None = None):
+        self._name = name
+        self._params: dict[str, int] = dict(params or {})
+        self._arrays: list[ArrayDecl] = []
+        self._scalars: list[ScalarDecl] = []
+        self._outputs: set[str] = set()
+        self._frames: list[list[Stmt]] = [[]]
+        self._built = False
+
+    # -- declarations ------------------------------------------------------
+    def param(self, name: str, default: int) -> Sym:
+        self._params[name] = int(default)
+        return Sym(name)
+
+    def sym(self, name: str) -> Sym:
+        """Handle for an already-declared parameter."""
+        if name not in self._params:
+            raise IRError(f"unknown parameter {name!r}")
+        return Sym(name)
+
+    def array(
+        self,
+        name: str,
+        shape: Sequence[SymLike] | SymLike,
+        dtype: DType = DType.FLOAT64,
+        output: bool = False,
+    ) -> ArrayHandle:
+        if not isinstance(shape, (tuple, list)):
+            shape = (shape,)
+        decl = ArrayDecl(name, tuple(_affine_of(e) for e in shape), dtype)
+        self._arrays.append(decl)
+        if output:
+            self._outputs.add(name)
+        return ArrayHandle(decl)
+
+    def scalar(
+        self, name: str, output: bool = False, initial: float = 0.0
+    ) -> ScalarRef:
+        self._scalars.append(ScalarDecl(name, DType.FLOAT64, output, initial))
+        return ScalarRef(name)
+
+    def mark_output(self, name: str) -> None:
+        self._outputs.add(name)
+
+    # -- statements --------------------------------------------------------
+    def _emit(self, stmt: Stmt) -> None:
+        self._frames[-1].append(stmt)
+
+    def assign(self, lhs: ArrayRef | ScalarRef, rhs: ExprLike) -> None:
+        self._emit(Assign(lhs, as_expr(rhs)))
+
+    def accumulate(self, lhs: ArrayRef | ScalarRef, rhs: ExprLike) -> None:
+        """``lhs = lhs + rhs`` (a reduction/update)."""
+        self._emit(Assign(lhs, lhs + as_expr(rhs)))
+
+    def read(self, lhs: ArrayRef) -> None:
+        self._emit(ExternalRead(lhs))
+
+    @contextlib.contextmanager
+    def loop(self, var: str, lower: SymLike, upper: SymLike) -> Iterator[Sym]:
+        self._frames.append([])
+        try:
+            yield Sym(var)
+        except BaseException:
+            # An exception inside the block must not emit a half-built
+            # (possibly empty) loop on top of the original error.
+            self._frames.pop()
+            raise
+        body = self._frames.pop()
+        self._emit(Loop(var, _affine_of(lower), _affine_of(upper), tuple(body)))
+
+    @contextlib.contextmanager
+    def if_(self, cond: Condition) -> Iterator[None]:
+        self._frames.append([])
+        try:
+            yield
+        except BaseException:
+            self._frames.pop()
+            raise
+        body = self._frames.pop()
+        self._emit(If(cond, tuple(body), ()))
+
+    @contextlib.contextmanager
+    def else_(self) -> Iterator[None]:
+        """Attach an else branch to the most recent If in the current frame."""
+        frame = self._frames[-1]
+        if not frame or not isinstance(frame[-1], If):
+            raise IRError("else_ must directly follow an if_")
+        self._frames.append([])
+        try:
+            yield
+        except BaseException:
+            self._frames.pop()
+            raise
+        body = self._frames.pop()
+        prior = self._frames[-1].pop()
+        assert isinstance(prior, If)
+        if prior.orelse:
+            raise IRError("if already has an else branch")
+        self._emit(If(prior.cond, prior.then, tuple(body)))
+
+    # -- finalization -------------------------------------------------------
+    def build(self) -> Program:
+        if len(self._frames) != 1:
+            raise IRError("unclosed loop or guard in builder")
+        if self._built:
+            raise IRError("builder already consumed")
+        self._built = True
+        return Program(
+            name=self._name,
+            params=self._params,
+            arrays=tuple(self._arrays),
+            scalars=tuple(self._scalars),
+            body=tuple(self._frames[0]),
+            outputs=frozenset(self._outputs),
+        )
+
+
+def call(func: str, *args: ExprLike) -> Call:
+    """Build an intrinsic call expression (``call("f", a[i], b[i])``)."""
+    return Call(func, tuple(as_expr(a) for a in args))

@@ -1,0 +1,137 @@
+"""``repro-loopc`` — the mini-language compiler/measurement driver.
+
+Compile a ``.loop`` source file, optionally run the paper's optimization
+strategy on it, and measure it on a simulated machine::
+
+    repro-loopc program.loop                      # parse + echo + measure
+    repro-loopc program.loop --optimize           # run the full pipeline
+    repro-loopc program.loop --machine exemplar --scale 64
+    repro-loopc program.loop --emit               # print transformed source
+    repro-loopc program.loop --set N=4096         # override a parameter
+    echo 'program p() ...' | repro-loopc -        # read from stdin
+
+Exit status is nonzero on parse errors, verification failures, or
+execution errors, so the driver is scriptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..errors import ReproError
+from ..balance.model import demand_supply_ratios, program_balance
+from ..interp.executor import execute
+from ..machine.presets import PRESETS
+from .parser import parse
+from .printer import render
+
+
+def _parse_overrides(pairs: list[str]) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(f"--set expects NAME=INT, got {pair!r}")
+        name, _, value = pair.partition("=")
+        try:
+            out[name.strip()] = int(value)
+        except ValueError as exc:
+            raise ReproError(f"--set {pair!r}: value must be an integer") from exc
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-loopc",
+        description="Compile, optimize and measure a mini-language loop program.",
+    )
+    parser.add_argument("source", help="path to a .loop file, or '-' for stdin")
+    parser.add_argument(
+        "--machine",
+        choices=sorted(PRESETS),
+        default="origin2000",
+        help="simulated machine preset (default: origin2000)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=64, help="cache scale-down factor (default 64)"
+    )
+    parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the paper's strategy (fusion, storage reduction, store elimination)",
+    )
+    parser.add_argument(
+        "--emit",
+        action="store_true",
+        help="print the (possibly transformed) program source and exit",
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="NAME=INT",
+        help="override a program parameter for the measurement run",
+    )
+    parser.add_argument(
+        "--no-run", action="store_true", help="skip the simulation (syntax/pipeline only)"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.source == "-":
+            source = sys.stdin.read()
+        else:
+            source = Path(args.source).read_text()
+    except OSError as exc:
+        print(f"error: cannot read {args.source}: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        program = parse(source)
+    except ReproError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.optimize:
+        from ..transforms.pipeline import optimize
+
+        result = optimize(program)
+        print(result.describe(), file=sys.stderr)
+        program_out = result.final
+    else:
+        program_out = program
+
+    if args.emit:
+        print(render(program_out), end="")
+        return 0
+
+    if args.no_run:
+        print(f"ok: {program_out.name} ({len(program_out.body)} top-level statements)")
+        return 0
+
+    try:
+        overrides = _parse_overrides(args.overrides)
+        machine = PRESETS[args.machine](args.scale)
+        run = execute(program_out, machine, params=overrides or None)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(run.describe())
+    balance = program_balance(run)
+    print(balance.describe())
+    print(demand_supply_ratios(balance, machine).describe())
+    if args.optimize:
+        baseline = execute(program, machine, params=overrides or None)
+        print(
+            f"speedup over unoptimized: {baseline.seconds / run.seconds:.2f}x "
+            f"(memory bytes {baseline.counters.memory_bytes:,} -> "
+            f"{run.counters.memory_bytes:,})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,285 @@
+"""Expression AST for the loop IR.
+
+Expressions are immutable trees of constants, scalar references, loop-index
+values, array references with affine subscripts, binary/unary arithmetic and
+intrinsic calls. The flop cost of every node kind is defined here so that
+static analysis and the trace engine agree on what counts as a flop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Union
+
+import numpy as np
+
+from ..errors import IRError
+from .affine import Affine, AffineLike
+
+#: Binary operators and their NumPy implementations.
+BINOPS: dict[str, Callable] = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+#: Unary operators.
+UNOPS: dict[str, Callable] = {
+    "-": np.negative,
+    "abs": np.abs,
+}
+
+#: Intrinsic functions: name -> (numpy impl, flop cost).
+#: ``f``/``g`` are the paper's opaque element functions (Figure 6); we give
+#: them cheap concrete semantics so transformed programs can be verified.
+INTRINSICS: dict[str, tuple[Callable, int]] = {
+    "sqrt": (np.sqrt, 1),
+    "sin": (np.sin, 1),
+    "cos": (np.cos, 1),
+    "exp": (np.exp, 1),
+    "log": (np.log, 1),
+    "f": (lambda x, y: 0.5 * x + 0.25 * y, 3),
+    "g": (lambda x, y: x - 0.125 * y, 2),
+}
+
+
+class Expr:
+    """Base class for expressions. Subclasses are frozen dataclasses."""
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and all descendants, preorder."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    # Operator sugar so tests and examples can write expressions naturally.
+    def __add__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("+", self, as_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("+", as_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("-", self, as_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("-", as_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("*", self, as_expr(other))
+
+    def __rmul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("*", as_expr(other), self)
+
+    def __truediv__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("/", self, as_expr(other))
+
+    def __rtruediv__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("/", as_expr(other), self)
+
+    def __neg__(self) -> "UnaryOp":
+        return UnaryOp("-", self)
+
+
+ExprLike = Union[Expr, int, float]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return Const(float(value))
+    raise IRError(f"cannot interpret {value!r} as an expression")
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A floating-point literal."""
+
+    value: float
+
+    def __str__(self) -> str:
+        v = self.value
+        return str(int(v)) if v == int(v) else repr(v)
+
+
+@dataclass(frozen=True)
+class ScalarRef(Expr):
+    """Reference to a declared scalar variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IndexValue(Expr):
+    """An affine function of loop variables/parameters used as a float value
+    (e.g. initializing ``a[i] = i + 1``)."""
+
+    affine: Affine
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "affine", Affine.of(self.affine))
+
+    def __str__(self) -> str:
+        return f"({self.affine})"
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """A subscripted array reference ``name[sub0, sub1, ...]``."""
+
+    array: str
+    index: tuple[Affine, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "index", tuple(Affine.of(s) for s in self.index))
+        if not self.index:
+            raise IRError(f"array reference {self.array!r} has no subscripts")
+
+    @property
+    def rank(self) -> int:
+        return len(self.index)
+
+    def substitute(self, bindings: Mapping[str, AffineLike]) -> "ArrayRef":
+        return ArrayRef(self.array, tuple(s.substitute(bindings) for s in self.index))
+
+    def __str__(self) -> str:
+        return f"{self.array}[{', '.join(str(s) for s in self.index)}]"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BINOPS:
+            raise IRError(f"unknown binary operator {self.op!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def __str__(self) -> str:
+        if self.op in ("min", "max"):
+            return f"{self.op}({self.lhs}, {self.rhs})"
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in UNOPS:
+            raise IRError(f"unknown unary operator {self.op!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        if self.op == "-":
+            return f"(-{self.operand})"
+        return f"{self.op}({self.operand})"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """An intrinsic function call."""
+
+    func: str
+    args: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if self.func not in INTRINSICS:
+            raise IRError(f"unknown intrinsic {self.func!r}")
+        object.__setattr__(self, "args", tuple(self.args))
+        impl, _ = INTRINSICS[self.func]
+        want = impl.__code__.co_argcount if hasattr(impl, "__code__") else None
+        if want is not None and want != len(self.args):
+            raise IRError(
+                f"intrinsic {self.func!r} expects {want} args, got {len(self.args)}"
+            )
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(str(a) for a in self.args)})"
+
+
+# ---------------------------------------------------------------------------
+# Expression utilities used across analyses and transforms.
+# ---------------------------------------------------------------------------
+
+def array_refs(expr: Expr) -> list[ArrayRef]:
+    """All array references in ``expr``, left-to-right evaluation order."""
+    return [node for node in expr.walk() if isinstance(node, ArrayRef)]
+
+
+def scalar_refs(expr: Expr) -> list[ScalarRef]:
+    return [node for node in expr.walk() if isinstance(node, ScalarRef)]
+
+
+def flop_count(expr: Expr) -> int:
+    """Static number of floating-point operations to evaluate ``expr`` once."""
+    total = 0
+    for node in expr.walk():
+        if isinstance(node, BinOp):
+            total += 1
+        elif isinstance(node, UnaryOp):
+            total += 1
+        elif isinstance(node, Call):
+            total += INTRINSICS[node.func][1]
+    return total
+
+
+def substitute_expr(expr: Expr, bindings: Mapping[str, AffineLike]) -> Expr:
+    """Rewrite every affine occurrence of the bound symbols in ``expr``."""
+    if isinstance(expr, ArrayRef):
+        return expr.substitute(bindings)
+    if isinstance(expr, IndexValue):
+        return IndexValue(expr.affine.substitute(bindings))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, substitute_expr(expr.lhs, bindings), substitute_expr(expr.rhs, bindings))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, substitute_expr(expr.operand, bindings))
+    if isinstance(expr, Call):
+        return Call(expr.func, tuple(substitute_expr(a, bindings) for a in expr.args))
+    return expr
+
+
+def replace_refs(expr: Expr, mapping: Mapping[ArrayRef, Expr]) -> Expr:
+    """Replace exact array references with other expressions (bottom-up)."""
+    if isinstance(expr, ArrayRef):
+        return mapping.get(expr, expr)
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, replace_refs(expr.lhs, mapping), replace_refs(expr.rhs, mapping))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, replace_refs(expr.operand, mapping))
+    if isinstance(expr, Call):
+        return Call(expr.func, tuple(replace_refs(a, mapping) for a in expr.args))
+    return expr
+
+
+def replace_array(expr: Expr, transform: Callable[[ArrayRef], Expr]) -> Expr:
+    """Apply ``transform`` to every array reference in ``expr``."""
+    if isinstance(expr, ArrayRef):
+        return transform(expr)
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, replace_array(expr.lhs, transform), replace_array(expr.rhs, transform))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, replace_array(expr.operand, transform))
+    if isinstance(expr, Call):
+        return Call(expr.func, tuple(replace_array(a, transform) for a in expr.args))
+    return expr

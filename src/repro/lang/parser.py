@@ -1,0 +1,351 @@
+"""Parser for the textual mini-language.
+
+The grammar matches :func:`repro.lang.printer.render` output::
+
+    program NAME(P=INT, ...)
+    array NAME[affine, ...] [dtype] [out]
+    scalar NAME [= NUMBER] [out]
+
+    for v = lo, hi { ... }
+    if affine OP affine [and ...] { ... } [else { ... }]
+    lvalue = expr
+    read(a[i, j])
+
+Expressions use ``+ - * /``, parentheses, intrinsic calls (``f(x, y)``,
+``sqrt(x)``, ``min(a, b)``) and ``idx(affine)`` for loop-index values.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import NoReturn
+
+from ..errors import ParseError
+from .affine import Affine, And, Cmp, Condition
+from .expr import (
+    INTRINSICS,
+    ArrayRef,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    IndexValue,
+    ScalarRef,
+    UnaryOp,
+)
+from .program import Program
+from .stmt import Assign, ExternalRead, If, Loop, Stmt
+from .types import ArrayDecl, DType, ScalarDecl
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<newline>\n)
+  | (?P<number>\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|==|!=|[-+*/<>=(),\[\]{}])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"program", "array", "scalar", "for", "if", "else", "read", "out", "and", "idx"}
+_DTYPES = {"float64": DType.FLOAT64, "float32": DType.FLOAT32, "int64": DType.INT64}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line", "col")
+
+    def __init__(self, kind: str, text: str, line: int, col: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.col = col
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line, col, pos = 1, 1, 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {source[pos]!r}", line, col)
+        kind = m.lastgroup
+        text = m.group()
+        if kind == "newline":
+            line += 1
+            col = 1
+        elif kind in ("ws", "comment"):
+            col += len(text)
+        else:
+            if kind == "ident" and text in _KEYWORDS:
+                kind = text
+            tokens.append(_Token(kind, text, line, col))
+            col += len(text)
+        pos = m.end()
+    tokens.append(_Token("eof", "", line, col))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = _tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        tok = self.peek()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            self.fail(f"expected {want!r}, found {tok.text!r}")
+        return self.advance()
+
+    def accept(self, kind: str, text: str | None = None) -> _Token | None:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    def fail(self, message: str) -> NoReturn:
+        tok = self.peek()
+        raise ParseError(message, tok.line, tok.col)
+
+    # -- grammar -----------------------------------------------------------
+    def parse_program(self) -> Program:
+        self.expect("program")
+        name = self.expect("ident").text
+        params: dict[str, int] = {}
+        self.expect("op", "(")
+        if not self.accept("op", ")"):
+            while True:
+                pname = self.expect("ident").text
+                self.expect("op", "=")
+                neg = bool(self.accept("op", "-"))
+                value = int(self.expect("number").text)
+                params[pname] = -value if neg else value
+                if self.accept("op", ")"):
+                    break
+                self.expect("op", ",")
+        arrays: list[ArrayDecl] = []
+        scalars: list[ScalarDecl] = []
+        outputs: set[str] = set()
+        while self.peek().kind in ("array", "scalar"):
+            if self.accept("array"):
+                aname = self.expect("ident").text
+                self.expect("op", "[")
+                shape = [self.parse_affine()]
+                while self.accept("op", ","):
+                    shape.append(self.parse_affine())
+                self.expect("op", "]")
+                dtype = DType.FLOAT64
+                tok = self.peek()
+                if tok.kind == "ident" and tok.text in _DTYPES:
+                    dtype = _DTYPES[self.advance().text]
+                if self.accept("out"):
+                    outputs.add(aname)
+                arrays.append(ArrayDecl(aname, tuple(shape), dtype))
+            else:
+                self.expect("scalar")
+                sname = self.expect("ident").text
+                initial = 0.0
+                if self.accept("op", "="):
+                    neg = bool(self.accept("op", "-"))
+                    initial = float(self.expect("number").text)
+                    if neg:
+                        initial = -initial
+                is_out = bool(self.accept("out"))
+                scalars.append(ScalarDecl(sname, DType.FLOAT64, is_out, initial))
+        body: list[Stmt] = []
+        while self.peek().kind != "eof":
+            body.append(self.parse_stmt())
+        return Program(name, params, tuple(arrays), tuple(scalars), tuple(body), frozenset(outputs))
+
+    def parse_stmt(self) -> Stmt:
+        tok = self.peek()
+        if tok.kind == "for":
+            return self.parse_for()
+        if tok.kind == "if":
+            return self.parse_if()
+        if tok.kind == "read":
+            self.advance()
+            self.expect("op", "(")
+            name = self.expect("ident").text
+            if self.peek().text == "[":
+                ref: ArrayRef | ScalarRef = self.parse_array_ref(name)
+            else:
+                ref = ScalarRef(name)
+            self.expect("op", ")")
+            return ExternalRead(ref)
+        if tok.kind == "ident":
+            name = self.advance().text
+            if self.peek().text == "[":
+                lhs: ArrayRef | ScalarRef = self.parse_array_ref(name)
+            else:
+                lhs = ScalarRef(name)
+            self.expect("op", "=")
+            rhs = self.parse_expr()
+            return Assign(lhs, rhs)
+        self.fail(f"expected a statement, found {tok.text!r}")
+
+    def parse_for(self) -> Loop:
+        self.expect("for")
+        var = self.expect("ident").text
+        self.expect("op", "=")
+        lower = self.parse_affine()
+        self.expect("op", ",")
+        upper = self.parse_affine()
+        body = self.parse_block()
+        return Loop(var, lower, upper, tuple(body))
+
+    def parse_if(self) -> If:
+        self.expect("if")
+        cond = self.parse_condition()
+        then = self.parse_block()
+        orelse: list[Stmt] = []
+        if self.accept("else"):
+            orelse = self.parse_block()
+        return If(cond, tuple(then), tuple(orelse))
+
+    def parse_block(self) -> list[Stmt]:
+        self.expect("op", "{")
+        body: list[Stmt] = []
+        while not self.accept("op", "}"):
+            if self.peek().kind == "eof":
+                self.fail("unterminated block")
+            body.append(self.parse_stmt())
+        return body
+
+    def parse_condition(self) -> Condition:
+        parts = [self.parse_cmp()]
+        while self.accept("and"):
+            parts.append(self.parse_cmp())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def parse_cmp(self) -> Cmp:
+        lhs = self.parse_affine()
+        tok = self.peek()
+        if tok.kind != "op" or tok.text not in ("<", "<=", ">", ">=", "==", "!="):
+            self.fail(f"expected comparison operator, found {tok.text!r}")
+        op = self.advance().text
+        rhs = self.parse_affine()
+        return Cmp(op, lhs, rhs)
+
+    # -- affine expressions (bounds, subscripts, guards) --------------------
+    def parse_affine(self) -> Affine:
+        result = self.parse_affine_term(negate=bool(self.accept("op", "-")))
+        while True:
+            if self.accept("op", "+"):
+                result = result + self.parse_affine_term(False)
+            elif self.peek().text == "-" and self.peek().kind == "op":
+                self.advance()
+                result = result + self.parse_affine_term(True)
+            else:
+                return result
+
+    def parse_affine_term(self, negate: bool) -> Affine:
+        tok = self.peek()
+        if tok.kind == "number":
+            self.advance()
+            if "." in tok.text or "e" in tok.text or "E" in tok.text:
+                self.fail("affine expressions must be integral")
+            value = int(tok.text)
+            if self.accept("op", "*"):
+                sym = self.expect("ident").text
+                term = Affine({sym: value}, 0)
+            else:
+                term = Affine({}, value)
+        elif tok.kind == "ident":
+            self.advance()
+            term = Affine({tok.text: 1}, 0)
+        else:
+            self.fail(f"expected affine term, found {tok.text!r}")
+        return -term if negate else term
+
+    # -- value expressions ---------------------------------------------------
+    def parse_expr(self) -> Expr:
+        lhs = self.parse_term()
+        while True:
+            if self.accept("op", "+"):
+                lhs = BinOp("+", lhs, self.parse_term())
+            elif self.accept("op", "-"):
+                lhs = BinOp("-", lhs, self.parse_term())
+            else:
+                return lhs
+
+    def parse_term(self) -> Expr:
+        lhs = self.parse_factor()
+        while True:
+            if self.accept("op", "*"):
+                lhs = BinOp("*", lhs, self.parse_factor())
+            elif self.accept("op", "/"):
+                lhs = BinOp("/", lhs, self.parse_factor())
+            else:
+                return lhs
+
+    def parse_factor(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text == "-":
+            self.advance()
+            return UnaryOp("-", self.parse_factor())
+        if tok.kind == "op" and tok.text == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            return inner
+        if tok.kind == "number":
+            self.advance()
+            return Const(float(tok.text))
+        if tok.kind == "idx":
+            self.advance()
+            self.expect("op", "(")
+            aff = self.parse_affine()
+            self.expect("op", ")")
+            return IndexValue(aff)
+        if tok.kind == "ident":
+            name = self.advance().text
+            nxt = self.peek()
+            if nxt.text == "[":
+                return self.parse_array_ref(name)
+            if nxt.text == "(":
+                self.advance()
+                args = [self.parse_expr()]
+                while self.accept("op", ","):
+                    args.append(self.parse_expr())
+                self.expect("op", ")")
+                if name in ("min", "max"):
+                    if len(args) != 2:
+                        self.fail(f"{name} takes exactly two arguments")
+                    return BinOp(name, args[0], args[1])
+                if name == "abs":
+                    if len(args) != 1:
+                        self.fail("abs takes exactly one argument")
+                    return UnaryOp("abs", args[0])
+                if name not in INTRINSICS:
+                    self.fail(f"unknown function {name!r}")
+                return Call(name, tuple(args))
+            return ScalarRef(name)
+        self.fail(f"expected an expression, found {tok.text!r}")
+
+    def parse_array_ref(self, name: str) -> ArrayRef:
+        self.expect("op", "[")
+        subs = [self.parse_affine()]
+        while self.accept("op", ","):
+            subs.append(self.parse_affine())
+        self.expect("op", "]")
+        return ArrayRef(name, tuple(subs))
+
+
+def parse(source: str) -> Program:
+    """Parse mini-language source text into a :class:`Program`."""
+    return _Parser(source).parse_program()

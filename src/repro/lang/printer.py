@@ -1,0 +1,83 @@
+"""Pretty-printer: renders IR programs in the textual mini-language.
+
+The output is valid input for :mod:`repro.lang.parser`, and round-tripping
+``parse(render(p))`` reproduces ``p`` up to expression parenthesization.
+"""
+
+from __future__ import annotations
+
+from .expr import ArrayRef, BinOp, Call, Const, Expr, IndexValue, ScalarRef, UnaryOp
+from .program import Program
+from .stmt import Assign, ExternalRead, If, Loop, Stmt
+from .types import DType
+
+_INDENT = "  "
+
+
+def render_expr(expr: Expr) -> str:
+    """Render an expression; binary operations are fully parenthesized and
+    negative literals appear as ``(-x)`` so the text is a fixed point of
+    parse-then-render (the parser reads ``-x`` as unary negation)."""
+    if isinstance(expr, Const):
+        if expr.value < 0:
+            return f"(-{Const(-expr.value)})"
+        return str(expr)
+    if isinstance(expr, (ScalarRef, ArrayRef)):
+        return str(expr)
+    if isinstance(expr, IndexValue):
+        return f"idx({expr.affine})"
+    if isinstance(expr, BinOp):
+        if expr.op in ("min", "max"):
+            return f"{expr.op}({render_expr(expr.lhs)}, {render_expr(expr.rhs)})"
+        return f"({render_expr(expr.lhs)} {expr.op} {render_expr(expr.rhs)})"
+    if isinstance(expr, UnaryOp):
+        if expr.op == "-":
+            return f"(-{render_expr(expr.operand)})"
+        return f"{expr.op}({render_expr(expr.operand)})"
+    if isinstance(expr, Call):
+        return f"{expr.func}({', '.join(render_expr(a) for a in expr.args)})"
+    raise TypeError(f"cannot render {type(expr).__name__}")
+
+
+def _render_stmt(stmt: Stmt, depth: int, lines: list[str]) -> None:
+    pad = _INDENT * depth
+    if isinstance(stmt, Assign):
+        lines.append(f"{pad}{stmt.lhs} = {render_expr(stmt.rhs)}")
+    elif isinstance(stmt, ExternalRead):
+        lines.append(f"{pad}read({stmt.lhs})")
+    elif isinstance(stmt, Loop):
+        lines.append(f"{pad}for {stmt.var} = {stmt.lower}, {stmt.upper} {{")
+        for s in stmt.body:
+            _render_stmt(s, depth + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, If):
+        lines.append(f"{pad}if {stmt.cond} {{")
+        for s in stmt.then:
+            _render_stmt(s, depth + 1, lines)
+        if stmt.orelse:
+            lines.append(f"{pad}}} else {{")
+            for s in stmt.orelse:
+                _render_stmt(s, depth + 1, lines)
+        lines.append(f"{pad}}}")
+    else:
+        raise TypeError(f"cannot render {type(stmt).__name__}")
+
+
+def render(program: Program) -> str:
+    """Render a full program as mini-language source text."""
+    lines: list[str] = []
+    params = ", ".join(f"{k}={v}" for k, v in program.params.items())
+    lines.append(f"program {program.name}({params})")
+    for a in program.arrays:
+        dims = ", ".join(str(e) for e in a.shape)
+        suffix = "" if a.dtype is DType.FLOAT64 else f" {a.dtype}"
+        out = " out" if a.name in program.outputs else ""
+        lines.append(f"array {a.name}[{dims}]{suffix}{out}")
+    for s in program.scalars:
+        out = " out" if (s.output or s.name in program.outputs) else ""
+        init = f" = {s.initial}" if s.initial else ""
+        lines.append(f"scalar {s.name}{init}{out}")
+    lines.append("")
+    for stmt in program.body:
+        _render_stmt(stmt, 0, lines)
+    return "\n".join(lines) + "\n"

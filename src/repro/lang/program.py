@@ -1,0 +1,217 @@
+"""The ``Program`` container: declarations plus a top-level statement list.
+
+A program in this IR corresponds to one of the paper's example codes: a set
+of array and scalar declarations, integer parameters (``N``), and a sequence
+of top-level loops/statements. Programs are immutable; transformations
+produce new programs via :meth:`Program.with_body` and friends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Mapping, Sequence
+
+from ..errors import IRError
+from .affine import Affine
+from .expr import ArrayRef, Call, Expr, ScalarRef
+from .stmt import Assign, ExternalRead, If, Loop, Stmt
+from .types import ArrayDecl, DType, ScalarDecl
+
+
+@dataclass(frozen=True)
+class Program:
+    """An IR program.
+
+    Attributes:
+        name: identifier used in reports.
+        params: parameter name -> default value (e.g. ``{"N": 100000}``).
+        arrays: array declarations, in declaration (= allocation) order.
+        scalars: scalar declarations; scalars with ``output=True`` form the
+            observable result together with arrays listed in ``outputs``.
+        body: top-level statements.
+        outputs: names of arrays whose final contents are observable
+            (live-out). Scalars marked ``output`` are always observable.
+    """
+
+    name: str
+    params: Mapping[str, int] = field(default_factory=dict)
+    arrays: tuple[ArrayDecl, ...] = ()
+    scalars: tuple[ScalarDecl, ...] = ()
+    body: tuple[Stmt, ...] = ()
+    outputs: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "arrays", tuple(self.arrays))
+        object.__setattr__(self, "scalars", tuple(self.scalars))
+        object.__setattr__(self, "body", tuple(self.body))
+        object.__setattr__(self, "outputs", frozenset(self.outputs))
+        self._check()
+
+    # -- validation --------------------------------------------------------
+    def _check(self) -> None:
+        names: set[str] = set()
+        for decl in list(self.arrays) + list(self.scalars):
+            if decl.name in names:
+                raise IRError(f"duplicate declaration of {decl.name!r}")
+            names.add(decl.name)
+        for p in self.params:
+            if p in names:
+                raise IRError(f"parameter {p!r} collides with a declaration")
+        array_names = {a.name for a in self.arrays}
+        scalar_names = {s.name for s in self.scalars}
+        for out in self.outputs:
+            if out not in array_names and out not in scalar_names:
+                raise IRError(f"output {out!r} is not declared")
+        self._check_stmts(self.body, set(self.params), array_names, scalar_names)
+
+    def _check_stmts(
+        self,
+        stmts: Sequence[Stmt],
+        bound: set[str],
+        arrays: set[str],
+        scalars: set[str],
+    ) -> None:
+        for s in stmts:
+            if isinstance(s, Loop):
+                for b in (s.lower, s.upper):
+                    free = b.symbols - bound
+                    if free:
+                        raise IRError(f"unbound symbols {sorted(free)} in bounds of loop {s.var}")
+                if s.var in bound:
+                    raise IRError(f"loop variable {s.var!r} shadows an outer binding")
+                self._check_stmts(s.body, bound | {s.var}, arrays, scalars)
+            elif isinstance(s, If):
+                free = s.cond.symbols - bound
+                if free:
+                    raise IRError(f"unbound symbols {sorted(free)} in guard {s.cond}")
+                self._check_stmts(s.then, bound, arrays, scalars)
+                self._check_stmts(s.orelse, bound, arrays, scalars)
+            elif isinstance(s, (Assign, ExternalRead)):
+                self._check_leaf(s, bound, arrays, scalars)
+            else:
+                raise IRError(f"unknown statement type {type(s).__name__}")
+
+    def _check_leaf(
+        self, s: Stmt, bound: set[str], arrays: set[str], scalars: set[str]
+    ) -> None:
+        from .expr import array_refs, scalar_refs
+
+        refs: list[ArrayRef] = []
+        if isinstance(s, Assign):
+            refs.extend(array_refs(s.rhs))
+            for sref in scalar_refs(s.rhs):
+                if sref.name not in scalars:
+                    raise IRError(f"undeclared scalar {sref.name!r}")
+            if isinstance(s.lhs, ArrayRef):
+                refs.append(s.lhs)
+            elif s.lhs.name not in scalars:
+                raise IRError(f"undeclared scalar {s.lhs.name!r}")
+            from .expr import IndexValue
+
+            for node in s.rhs.walk():
+                if isinstance(node, IndexValue):
+                    free = node.affine.symbols - bound
+                    if free:
+                        raise IRError(f"unbound symbols {sorted(free)} in {node}")
+        else:
+            assert isinstance(s, ExternalRead)
+            if isinstance(s.lhs, ArrayRef):
+                refs.append(s.lhs)
+            elif s.lhs.name not in scalars:
+                raise IRError(f"undeclared scalar {s.lhs.name!r}")
+        decl_by_name = {a.name: a for a in self.arrays}
+        for ref in refs:
+            if ref.array not in arrays:
+                raise IRError(f"undeclared array {ref.array!r}")
+            decl = decl_by_name[ref.array]
+            if decl.rank != ref.rank:
+                raise IRError(
+                    f"array {ref.array!r} has rank {decl.rank} but is referenced "
+                    f"with {ref.rank} subscripts"
+                )
+            for sub in ref.index:
+                free = sub.symbols - bound
+                if free:
+                    raise IRError(f"unbound symbols {sorted(free)} in {ref}")
+
+    # -- lookups -----------------------------------------------------------
+    def array(self, name: str) -> ArrayDecl:
+        for a in self.arrays:
+            if a.name == name:
+                return a
+        raise IRError(f"no array named {name!r}")
+
+    def scalar(self, name: str) -> ScalarDecl:
+        for s in self.scalars:
+            if s.name == name:
+                return s
+        raise IRError(f"no scalar named {name!r}")
+
+    def has_array(self, name: str) -> bool:
+        return any(a.name == name for a in self.arrays)
+
+    @property
+    def array_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.arrays)
+
+    @property
+    def output_scalars(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self.scalars if s.output or s.name in self.outputs)
+
+    @property
+    def output_arrays(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.arrays if a.name in self.outputs)
+
+    def bind_params(self, overrides: Mapping[str, int] | None = None) -> dict[str, int]:
+        """Concrete parameter values: defaults updated by ``overrides``."""
+        env = dict(self.params)
+        if overrides:
+            for k, v in overrides.items():
+                if k not in env:
+                    raise IRError(f"unknown parameter {k!r} for program {self.name!r}")
+                env[k] = int(v)
+        return env
+
+    # -- traversal ---------------------------------------------------------
+    def walk(self) -> Iterator[Stmt]:
+        for s in self.body:
+            yield from s.walk()
+
+    def top_level_loops(self) -> tuple[Loop, ...]:
+        return tuple(s for s in self.body if isinstance(s, Loop))
+
+    def data_bytes(self, overrides: Mapping[str, int] | None = None) -> int:
+        """Total declared array footprint in bytes."""
+        env = self.bind_params(overrides)
+        return sum(a.size_bytes(env) for a in self.arrays)
+
+    # -- derivation --------------------------------------------------------
+    def with_body(self, body: Sequence[Stmt], name: str | None = None) -> "Program":
+        return replace(self, body=tuple(body), name=name or self.name)
+
+    def with_name(self, name: str) -> "Program":
+        return replace(self, name=name)
+
+    def with_arrays(self, arrays: Sequence[ArrayDecl]) -> "Program":
+        return replace(self, arrays=tuple(arrays))
+
+    def with_scalars(self, scalars: Sequence[ScalarDecl]) -> "Program":
+        return replace(self, scalars=tuple(scalars))
+
+    def with_outputs(self, outputs: Sequence[str]) -> "Program":
+        return replace(self, outputs=frozenset(outputs))
+
+    def adding_array(self, decl: ArrayDecl) -> "Program":
+        return replace(self, arrays=self.arrays + (decl,))
+
+    def adding_scalar(self, decl: ScalarDecl) -> "Program":
+        return replace(self, scalars=self.scalars + (decl,))
+
+    def dropping_arrays(self, names: set[str]) -> "Program":
+        return replace(self, arrays=tuple(a for a in self.arrays if a.name not in names))
+
+    def __str__(self) -> str:
+        from .printer import render
+
+        return render(self)

@@ -1,0 +1,192 @@
+"""Statements and loops of the IR.
+
+A program body is a list of statements; the structured statements are
+``Loop`` (a counted loop over a half-open affine range) and ``If`` (a guard
+on an affine condition). ``Assign`` covers both plain assignments and
+reductions (the LHS may appear in the RHS). ``ExternalRead`` models the
+paper's ``read(a[i,j])`` input statements: the value comes from an input
+stream, so it is a store to the array without any program-array load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence, Union
+
+from ..errors import IRError
+from .affine import Affine, AffineLike, Condition
+from .expr import ArrayRef, Expr, ScalarRef, as_expr
+
+LValue = Union[ArrayRef, ScalarRef]
+
+
+class Stmt:
+    """Base class for statements."""
+
+    def walk(self) -> Iterator["Stmt"]:
+        """Yield this statement and all nested statements, preorder."""
+        yield self
+
+    def substituted(self, bindings: Mapping[str, AffineLike]) -> "Stmt":
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``lhs = rhs``; a reduction when the lhs also occurs in the rhs."""
+
+    lhs: LValue
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.lhs, (ArrayRef, ScalarRef)):
+            raise IRError(f"invalid assignment target {self.lhs!r}")
+        object.__setattr__(self, "rhs", as_expr(self.rhs))
+
+    def substituted(self, bindings: Mapping[str, AffineLike]) -> "Assign":
+        from .expr import substitute_expr
+
+        lhs = self.lhs.substitute(bindings) if isinstance(self.lhs, ArrayRef) else self.lhs
+        return Assign(lhs, substitute_expr(self.rhs, bindings))
+
+    def __str__(self) -> str:
+        return f"{self.lhs} = {self.rhs}"
+
+
+@dataclass(frozen=True)
+class ExternalRead(Stmt):
+    """``read(lhs)`` — store an externally supplied value into an array
+    element or (after storage reduction, as in the paper's Figure 6c
+    ``read(a2)``) directly into a scalar."""
+
+    lhs: LValue
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.lhs, (ArrayRef, ScalarRef)):
+            raise IRError("ExternalRead target must be an array or scalar reference")
+
+    def substituted(self, bindings: Mapping[str, AffineLike]) -> "ExternalRead":
+        if isinstance(self.lhs, ArrayRef):
+            return ExternalRead(self.lhs.substitute(bindings))
+        return self
+
+    def __str__(self) -> str:
+        return f"read({self.lhs})"
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """A guard on an affine condition over loop variables and parameters."""
+
+    cond: Condition
+    then: tuple[Stmt, ...]
+    orelse: tuple[Stmt, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "then", tuple(self.then))
+        object.__setattr__(self, "orelse", tuple(self.orelse))
+        if not self.then and not self.orelse:
+            raise IRError("If statement with empty branches")
+
+    def walk(self) -> Iterator[Stmt]:
+        yield self
+        for s in self.then:
+            yield from s.walk()
+        for s in self.orelse:
+            yield from s.walk()
+
+    def substituted(self, bindings: Mapping[str, AffineLike]) -> "If":
+        return If(
+            self.cond.substitute(bindings),
+            tuple(s.substituted(bindings) for s in self.then),
+            tuple(s.substituted(bindings) for s in self.orelse),
+        )
+
+    def __str__(self) -> str:
+        return f"if {self.cond} ..."
+
+
+@dataclass(frozen=True)
+class Loop(Stmt):
+    """``for var in [lower, upper)`` with unit step.
+
+    Bounds are affine in program parameters and enclosing loop variables.
+    """
+
+    var: str
+    lower: Affine
+    upper: Affine
+    body: tuple[Stmt, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.var.isidentifier():
+            raise IRError(f"invalid loop variable {self.var!r}")
+        object.__setattr__(self, "lower", Affine.of(self.lower))
+        object.__setattr__(self, "upper", Affine.of(self.upper))
+        object.__setattr__(self, "body", tuple(self.body))
+        if not self.body:
+            raise IRError(f"loop over {self.var!r} has an empty body")
+
+    def walk(self) -> Iterator[Stmt]:
+        yield self
+        for s in self.body:
+            yield from s.walk()
+
+    def trip_count(self, env: Mapping[str, int]) -> int:
+        return max(0, self.upper.evaluate(env) - self.lower.evaluate(env))
+
+    def substituted(self, bindings: Mapping[str, AffineLike]) -> "Loop":
+        if self.var in bindings:
+            raise IRError(f"cannot substitute bound loop variable {self.var!r}")
+        return Loop(
+            self.var,
+            self.lower.substitute(bindings),
+            self.upper.substitute(bindings),
+            tuple(s.substituted(bindings) for s in self.body),
+        )
+
+    def with_body(self, body: Sequence[Stmt]) -> "Loop":
+        return Loop(self.var, self.lower, self.upper, tuple(body))
+
+    def renamed(self, new_var: str) -> "Loop":
+        """Alpha-rename the loop variable throughout the body."""
+        if new_var == self.var:
+            return self
+        binding = {self.var: Affine.var(new_var)}
+        return Loop(
+            new_var,
+            self.lower,
+            self.upper,
+            tuple(s.substituted(binding) for s in self.body),
+        )
+
+    def __str__(self) -> str:
+        return f"for {self.var} = {self.lower}, {self.upper} ..."
+
+
+def loop_vars(stmt: Stmt) -> list[str]:
+    """All loop variables bound anywhere inside ``stmt`` (preorder)."""
+    return [s.var for s in stmt.walk() if isinstance(s, Loop)]
+
+
+def innermost_loops(stmt: Stmt) -> list[Loop]:
+    """Loops that contain no nested loop."""
+    out = []
+    for s in stmt.walk():
+        if isinstance(s, Loop) and not any(isinstance(b, Loop) for b in s.walk() if b is not s):
+            out.append(s)
+    return out
+
+
+def perfect_nest(loop: Loop) -> list[Loop]:
+    """The chain of perfectly nested loops starting at ``loop``.
+
+    Returns ``[loop]`` alone if the body holds anything besides a single
+    nested loop.
+    """
+    chain = [loop]
+    current = loop
+    while len(current.body) == 1 and isinstance(current.body[0], Loop):
+        current = current.body[0]
+        chain.append(current)
+    return chain

@@ -1,0 +1,121 @@
+"""Data types and declarations for the loop IR.
+
+Arrays are declared with a name, a shape of affine extents (usually program
+parameters such as ``N``) and an element dtype. Scalars are named float
+variables; a scalar marked ``output`` is part of the program's observable
+result (the paper's programs ``print sum``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import IRError
+from .affine import Affine, AffineLike
+
+
+class DType(enum.Enum):
+    """Element types supported by the IR and the machine model."""
+
+    FLOAT64 = ("f8", 8)
+    FLOAT32 = ("f4", 4)
+    INT64 = ("i8", 8)
+
+    def __init__(self, np_name: str, size: int):
+        self.np_name = np_name
+        self.size = size
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(self.np_name)
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """Declaration of a program array.
+
+    ``shape`` extents are affine in program parameters only (not loop vars);
+    the element layout is row-major (C order).
+
+    ``init_names`` supports the inter-array regrouping transform: when set
+    (one name per last-dimension slot), the reference interpreter
+    initializes slice ``[..., j]`` with the deterministic per-name stream
+    of ``init_names[j]`` — so a packed array starts with exactly the values
+    the standalone arrays it replaces would have had, and the equivalence
+    oracle can compare observables across the rewrite.
+    """
+
+    name: str
+    shape: tuple[Affine, ...]
+    dtype: DType = DType.FLOAT64
+    init_names: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise IRError(f"invalid array name {self.name!r}")
+        if not self.shape:
+            raise IRError(f"array {self.name!r} must have at least one dimension")
+        object.__setattr__(self, "shape", tuple(Affine.of(e) for e in self.shape))
+        if self.init_names is not None:
+            object.__setattr__(self, "init_names", tuple(self.init_names))
+            last = self.shape[-1]
+            if not last.is_constant or last.const != len(self.init_names):
+                raise IRError(
+                    f"array {self.name!r}: init_names needs one entry per "
+                    "slot of a constant last dimension"
+                )
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def extents(self, params: Mapping[str, int]) -> tuple[int, ...]:
+        """Concrete extents under a parameter binding."""
+        out = tuple(e.evaluate(params) for e in self.shape)
+        for dim, ext in enumerate(out):
+            if ext <= 0:
+                raise IRError(f"array {self.name!r} dimension {dim} has extent {ext}")
+        return out
+
+    def element_count(self, params: Mapping[str, int]) -> int:
+        n = 1
+        for e in self.extents(params):
+            n *= e
+        return n
+
+    def size_bytes(self, params: Mapping[str, int]) -> int:
+        return self.element_count(params) * self.dtype.size
+
+    def __str__(self) -> str:
+        dims = ", ".join(str(e) for e in self.shape)
+        return f"{self.name}[{dims}]"
+
+
+@dataclass(frozen=True)
+class ScalarDecl:
+    """Declaration of a scalar float variable."""
+
+    name: str
+    dtype: DType = DType.FLOAT64
+    output: bool = False
+    initial: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise IRError(f"invalid scalar name {self.name!r}")
+
+    def __str__(self) -> str:
+        suffix = " out" if self.output else ""
+        return f"{self.name}{suffix}"
+
+
+def make_shape(*extents: AffineLike) -> tuple[Affine, ...]:
+    """Convenience: coerce ints/strings/affines into a shape tuple."""
+    return tuple(Affine.of(e) for e in extents)

@@ -1,0 +1,37 @@
+"""Simulated machine substrate: caches, hierarchy, layout, timing, presets."""
+
+from .cache import Cache, CacheGeometry, CacheStats
+from .hierarchy import Hierarchy, HierarchyResult
+from .layout import ArrayPlacement, LayoutPolicy, MemoryLayout, build_layout
+from .opt_cache import OptResult, lru_vs_opt, simulate_opt
+from .presets import PRESETS, exemplar, future_machine, origin2000
+from .spec import CacheLevelSpec, MachineSpec
+from .three_c import MissClassification, classify_misses
+from .timing import TimeBreakdown, bandwidth_bound_time, latency_bound_time, overlap_time
+
+__all__ = [
+    "ArrayPlacement",
+    "Cache",
+    "CacheGeometry",
+    "CacheLevelSpec",
+    "CacheStats",
+    "Hierarchy",
+    "HierarchyResult",
+    "LayoutPolicy",
+    "MachineSpec",
+    "MissClassification",
+    "MemoryLayout",
+    "OptResult",
+    "PRESETS",
+    "TimeBreakdown",
+    "bandwidth_bound_time",
+    "build_layout",
+    "classify_misses",
+    "exemplar",
+    "future_machine",
+    "latency_bound_time",
+    "lru_vs_opt",
+    "origin2000",
+    "overlap_time",
+    "simulate_opt",
+]

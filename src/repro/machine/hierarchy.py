@@ -1,0 +1,77 @@
+"""Multi-level trace-driven hierarchy simulation.
+
+Feeds an ordered element-granularity access stream through the cache stack:
+each level's miss fills and writebacks become the ordered input of the next
+level, and the event count leaving level *i* times that level's line size is
+exactly the traffic the paper measures with hardware counters:
+
+    L1↔L2 bytes  = (L1 misses + L1 writebacks) × L1 line size
+    L2↔Mem bytes = (L2 misses + L2 writebacks) × L2 line size
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cache import Cache, CacheStats
+from .spec import MachineSpec
+
+
+@dataclass(frozen=True)
+class HierarchyResult:
+    """Counters and per-channel traffic of one simulated run."""
+
+    level_stats: tuple[CacheStats, ...]
+    downstream_bytes: tuple[int, ...]  # one entry per cache level: traffic below it
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes moved on the last channel (last cache ↔ memory)."""
+        return self.downstream_bytes[-1]
+
+    def merged(self, other: "HierarchyResult") -> "HierarchyResult":
+        assert len(self.level_stats) == len(other.level_stats)
+        return HierarchyResult(
+            tuple(a.merged(b) for a, b in zip(self.level_stats, other.level_stats)),
+            tuple(a + b for a, b in zip(self.downstream_bytes, other.downstream_bytes)),
+        )
+
+
+class Hierarchy:
+    """A stack of caches fed by element-granularity address traces."""
+
+    def __init__(self, caches: list[Cache]):
+        if not caches:
+            raise ValueError("hierarchy needs at least one cache")
+        self.caches = caches
+
+    @classmethod
+    def from_spec(cls, spec: MachineSpec) -> "Hierarchy":
+        return cls(spec.build_caches())
+
+    def run_trace(self, byte_addrs: np.ndarray, is_write: np.ndarray) -> None:
+        """Push one ordered access stream through all levels (no flush)."""
+        addrs, writes = byte_addrs, is_write
+        for cache in self.caches:
+            addrs, writes = cache.run(addrs, writes)
+
+    def flush(self) -> None:
+        """Drain dirty lines of every level down to memory."""
+        for i, cache in enumerate(self.caches):
+            addrs, writes = cache.flush()
+            for lower in self.caches[i + 1 :]:
+                addrs, writes = lower.run(addrs, writes)
+
+    def result(self) -> HierarchyResult:
+        """Snapshot counters and derived traffic."""
+        stats = tuple(c.stats for c in self.caches)
+        traffic = tuple(
+            c.stats.events_out * c.geometry.line_size for c in self.caches
+        )
+        return HierarchyResult(stats, traffic)
+
+    def reset(self) -> None:
+        for c in self.caches:
+            c.reset()

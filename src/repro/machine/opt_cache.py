@@ -1,0 +1,143 @@
+"""Belady-optimal (OPT/MIN) cache replacement — offline simulation.
+
+The paper's §4 discusses Burger et al.'s use of "the optimal Belady
+cache-replacement policy" to bound what better cache management could buy,
+and dismisses it as impractical ("requires hardware to have beforehand the
+perfect knowledge of whole execution"). A *simulator* has exactly that
+knowledge: this module replays a finished trace under OPT, so experiments
+can report the gap between LRU traffic and the offline optimum — the
+headroom hardware could never reach but compilers (which also see the
+whole program) can go after.
+
+OPT here is per-set: on a miss with a full set, evict the resident line
+whose next use is farthest in the future (never-used-again first). For
+writeback accounting a dirty victim costs one writeback, as in the LRU
+simulator, so traffic numbers are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MachineError
+from .cache import CacheGeometry, CacheStats
+
+
+@dataclass(frozen=True)
+class OptResult:
+    """Counters of one offline-optimal replay."""
+
+    stats: CacheStats
+    downstream_bytes: int
+
+    @property
+    def misses(self) -> int:
+        return self.stats.misses
+
+    @property
+    def writebacks(self) -> int:
+        return self.stats.writebacks
+
+
+def simulate_opt(
+    byte_addrs: np.ndarray,
+    is_write: np.ndarray,
+    geometry: CacheGeometry,
+    flush: bool = True,
+) -> OptResult:
+    """Replay an access stream under Belady-optimal replacement.
+
+    Returns counters plus the downstream traffic ((misses + writebacks) ×
+    line size), the quantity to compare against an LRU run of the same
+    trace and geometry.
+    """
+    if len(byte_addrs) != len(is_write):
+        raise MachineError("address and write arrays must have equal length")
+    n = len(byte_addrs)
+    stats = CacheStats()
+    if n == 0:
+        return OptResult(stats, 0)
+
+    line_shift = geometry.line_size.bit_length() - 1
+    lines = (np.asarray(byte_addrs, dtype=np.int64) >> line_shift).tolist()
+    writes = np.asarray(is_write, dtype=bool).tolist()
+    n_sets = geometry.n_sets
+    assoc = geometry.associativity
+
+    # next_use[k] = index of the next access to the same line after k
+    # (n = infinity). Computed in one reverse sweep.
+    INF = n
+    next_use = [INF] * n
+    last_seen: dict[int, int] = {}
+    for k in range(n - 1, -1, -1):
+        line = lines[k]
+        next_use[k] = last_seen.get(line, INF)
+        last_seen[line] = k
+
+    # Per-set resident map: line -> [next_use_index, dirty]
+    sets: list[dict[int, list]] = [dict() for _ in range(n_sets)]
+    misses = hits = rmiss = wmiss = evict = wb = 0
+
+    for k in range(n):
+        line = lines[k]
+        w = writes[k]
+        ways = sets[line % n_sets]
+        entry = ways.get(line)
+        if entry is not None:
+            hits += 1
+            entry[0] = next_use[k]
+            entry[1] = entry[1] or w
+            continue
+        misses += 1
+        if w:
+            wmiss += 1
+        else:
+            rmiss += 1
+        if len(ways) >= assoc:
+            # Belady: evict the line used farthest in the future.
+            victim_line, victim = max(ways.items(), key=lambda kv: kv[1][0])
+            del ways[victim_line]
+            evict += 1
+            if victim[1]:
+                wb += 1
+        ways[line] = [next_use[k], w]
+
+    if flush:
+        for ways in sets:
+            for entry in ways.values():
+                if entry[1]:
+                    wb += 1
+
+    stats.accesses = n
+    stats.hits = hits
+    stats.misses = misses
+    stats.read_misses = rmiss
+    stats.write_misses = wmiss
+    stats.evictions = evict
+    stats.writebacks = wb
+    stats.events_out = misses + wb
+    return OptResult(stats, (misses + wb) * geometry.line_size)
+
+
+def lru_vs_opt(
+    byte_addrs: np.ndarray,
+    is_write: np.ndarray,
+    geometry: CacheGeometry,
+    flush: bool = True,
+) -> tuple[int, int]:
+    """(LRU downstream bytes, OPT downstream bytes) for one trace.
+
+    Convenience used by the replacement-policy experiment; OPT is a lower
+    bound, so the first element is always >= the second.
+    """
+    from .cache import Cache
+
+    cache = Cache("lru", geometry)
+    cache.run(byte_addrs, is_write)
+    if flush:
+        cache.flush()
+    lru_bytes = cache.stats.events_out * geometry.line_size
+    opt = simulate_opt(byte_addrs, is_write, geometry, flush=flush)
+    return lru_bytes, opt.downstream_bytes

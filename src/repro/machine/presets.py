@@ -1,0 +1,124 @@
+"""Machine presets.
+
+``origin2000`` and ``exemplar`` model the two machines of the paper's
+experiments; ``future_machine`` models the paper's closing warning ("as CPU
+speed rapidly increases, future systems will have even worse balance").
+
+Numbers are chosen to match the paper's published machine balance rather
+than datasheets:
+
+* **SGI Origin2000 / MIPS R10K** — the paper's Figure 1 machine row is
+  4 / 4 / 0.8 bytes per flop with ~300 MB/s of STREAM memory bandwidth;
+  with a 390 Mflop/s peak (195 MHz × 2 flops/cycle) that gives 1560 MB/s
+  register and L1↔L2 bandwidth and 312 MB/s memory bandwidth. Caches:
+  32 KB 2-way L1 with 32 B lines, 4 MB 2-way L2 with 128 B lines.
+* **HP/Convex Exemplar / PA-8000** — a single-level large *direct-mapped*
+  off-chip data cache (the paper's footnote 3 blames direct mapping for the
+  3w6r anomaly) and an effective memory bandwidth around 500 MB/s (Figure 3
+  shows 417–551 MB/s). The real cache was 1 MB; we use 1.25 MB so the cache
+  is divisible by five — the conflict-period-of-five layout used in the
+  Figure 3 experiment needs ``5 × array_spacing ≡ 0 (mod cache size)`` to
+  be exact. This changes nothing else.
+
+Pass ``scale=k`` to divide every cache size by ``k`` (bandwidths and flop
+rate unchanged): simulations then need k-times smaller arrays for the same
+cache-relative regime, which keeps tests fast. Balance is unaffected.
+
+Default layout policies pad arrays apart by a prime number of lines on
+Origin so that power-of-two array sizes do not accidentally collide in the
+2-way caches; the Exemplar default uses no padding, as conflict behaviour
+is exactly what its experiment studies.
+"""
+
+from __future__ import annotations
+
+from .cache import CacheGeometry
+from .layout import LayoutPolicy
+from .spec import CacheLevelSpec, MachineSpec
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def origin2000(scale: int = 1) -> MachineSpec:
+    """SGI Origin2000 (one MIPS R10K processor)."""
+    spec = MachineSpec(
+        name="Origin2000",
+        peak_flops=390e6,
+        register_bandwidth=4 * 390e6,  # 4 B/flop (Figure 1 machine row)
+        cache_levels=(
+            CacheLevelSpec(
+                name="L1",
+                geometry=CacheGeometry(32 * KB, 32, 2),
+                downstream_bandwidth=4 * 390e6,  # 4 B/flop L1<->L2
+                downstream_latency=50e-9,  # ~10 cycles to L2
+            ),
+            CacheLevelSpec(
+                name="L2",
+                geometry=CacheGeometry(4 * MB, 128, 2),
+                downstream_bandwidth=0.8 * 390e6,  # 0.8 B/flop = 312 MB/s
+                downstream_latency=300e-9,  # Origin local memory latency
+            ),
+        ),
+        # 37 lines of padding between arrays: arrays whose sizes are
+        # multiples of the cache way size would otherwise all map to the
+        # same sets and overflow 2-way associativity.
+        default_layout=LayoutPolicy(alignment=32, pad_bytes=37 * 32),
+    )
+    return spec.scaled(scale)
+
+
+def exemplar(scale: int = 1) -> MachineSpec:
+    """HP/Convex Exemplar (one PA-8000 processor), single-level
+    direct-mapped data cache."""
+    spec = MachineSpec(
+        name="Exemplar",
+        peak_flops=360e6,  # 180 MHz x 2 flops/cycle
+        register_bandwidth=4 * 360e6,
+        cache_levels=(
+            CacheLevelSpec(
+                name="L1",
+                geometry=CacheGeometry(1280 * KB, 32, 1),  # 1.25 MB direct-mapped
+                downstream_bandwidth=500e6,  # ~500 MB/s effective memory bw
+                downstream_latency=250e-9,
+            ),
+        ),
+        default_layout=LayoutPolicy(alignment=32, pad_bytes=0),
+    )
+    return spec.scaled(scale)
+
+
+def future_machine(cpu_factor: float = 4.0, scale: int = 1) -> MachineSpec:
+    """A future machine: ``cpu_factor`` times the Origin's CPU and cache
+    bandwidth but the *same* memory bandwidth — the balance the paper
+    predicts will keep deteriorating."""
+    base = origin2000()
+    spec = MachineSpec(
+        name=f"Future{cpu_factor:g}x",
+        peak_flops=base.peak_flops * cpu_factor,
+        register_bandwidth=base.register_bandwidth * cpu_factor,
+        cache_levels=(
+            CacheLevelSpec(
+                name="L1",
+                geometry=base.cache_levels[0].geometry,
+                downstream_bandwidth=base.cache_levels[0].downstream_bandwidth * cpu_factor,
+                downstream_latency=base.cache_levels[0].downstream_latency,
+            ),
+            CacheLevelSpec(
+                name="L2",
+                geometry=base.cache_levels[1].geometry,
+                downstream_bandwidth=base.cache_levels[1].downstream_bandwidth,
+                downstream_latency=base.cache_levels[1].downstream_latency,
+            ),
+        ),
+        default_layout=base.default_layout,
+    )
+    return spec.scaled(scale)
+
+
+#: Registry used by the experiment runner's ``--machine`` flag.
+PRESETS = {
+    "origin2000": origin2000,
+    "exemplar": exemplar,
+    "future": future_machine,
+}

@@ -1,0 +1,117 @@
+"""Machine specifications: geometry, bandwidths, latencies, balance.
+
+A :class:`MachineSpec` describes one machine the way the paper's Figure 1
+does: a peak flop rate plus a data-transfer bandwidth at every memory
+hierarchy level (registers↔L1, L1↔L2, ..., last-cache↔memory). *Machine
+balance* is bandwidth divided by peak flop rate, in bytes per flop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import MachineError
+from .cache import Cache, CacheGeometry
+from .layout import LayoutPolicy
+
+
+@dataclass(frozen=True)
+class CacheLevelSpec:
+    """One cache level plus the bandwidth/latency of the channel *below* it
+    (towards memory): for L1 that is the L1↔L2 channel, for the last cache
+    it is the cache↔memory channel."""
+
+    name: str
+    geometry: CacheGeometry
+    downstream_bandwidth: float  # bytes/second
+    downstream_latency: float  # seconds per line transfer (for latency model)
+
+    def __post_init__(self) -> None:
+        if self.downstream_bandwidth <= 0:
+            raise MachineError(f"{self.name}: bandwidth must be positive")
+        if self.downstream_latency < 0:
+            raise MachineError(f"{self.name}: latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete simulated machine."""
+
+    name: str
+    peak_flops: float  # flops/second
+    register_bandwidth: float  # bytes/second between registers and L1
+    cache_levels: tuple[CacheLevelSpec, ...]
+    default_layout: LayoutPolicy = field(default_factory=LayoutPolicy)
+    register_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0:
+            raise MachineError("peak flop rate must be positive")
+        if self.register_bandwidth <= 0:
+            raise MachineError("register bandwidth must be positive")
+        if not self.cache_levels:
+            raise MachineError("a machine needs at least one cache level")
+
+    # -- structure -----------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        """Number of data-transfer channels: registers↔L1 plus one per cache."""
+        return 1 + len(self.cache_levels)
+
+    @property
+    def level_names(self) -> tuple[str, ...]:
+        """Channel names, CPU-side first (matches the paper's columns:
+        'L1-Reg', 'L2-L1', 'Mem-L2' for a two-cache machine)."""
+        names = [f"{self.cache_levels[0].name}-Reg"]
+        for i, lvl in enumerate(self.cache_levels):
+            below = (
+                self.cache_levels[i + 1].name if i + 1 < len(self.cache_levels) else "Mem"
+            )
+            names.append(f"{below}-{lvl.name}")
+        return tuple(names)
+
+    @property
+    def bandwidths(self) -> tuple[float, ...]:
+        """Bandwidth per channel, same order as :attr:`level_names`."""
+        return (self.register_bandwidth,) + tuple(
+            lvl.downstream_bandwidth for lvl in self.cache_levels
+        )
+
+    @property
+    def memory_bandwidth(self) -> float:
+        """The last channel: last cache ↔ memory."""
+        return self.cache_levels[-1].downstream_bandwidth
+
+    @property
+    def balance(self) -> tuple[float, ...]:
+        """Machine balance: bytes transferable per flop at each channel
+        (Figure 1's machine row)."""
+        return tuple(bw / self.peak_flops for bw in self.bandwidths)
+
+    # -- factories -----------------------------------------------------------
+    def build_caches(self) -> list[Cache]:
+        """Fresh simulator instances for every cache level."""
+        return [Cache(lvl.name, lvl.geometry) for lvl in self.cache_levels]
+
+    def scaled(self, factor: int) -> "MachineSpec":
+        """A machine with all cache sizes divided by ``factor``.
+
+        Bandwidths and flop rates are unchanged: the scaled machine is the
+        same machine with a proportionally smaller working-set regime, which
+        keeps every balance ratio intact while letting simulations use small
+        arrays. The name gains a ``/factor`` suffix.
+        """
+        if factor == 1:
+            return self
+        levels = tuple(
+            replace(lvl, geometry=lvl.geometry.scaled(factor)) for lvl in self.cache_levels
+        )
+        return replace(self, name=f"{self.name}/{factor}", cache_levels=levels)
+
+    def describe(self) -> str:
+        lines = [f"{self.name}: peak {self.peak_flops / 1e6:.0f} Mflop/s"]
+        for label, bw in zip(self.level_names, self.bandwidths):
+            lines.append(f"  {label:>8}: {bw / 1e6:8.1f} MB/s  ({bw / self.peak_flops:.2f} B/flop)")
+        for lvl in self.cache_levels:
+            lines.append(f"  {lvl.name}: {lvl.geometry}")
+        return "\n".join(lines)

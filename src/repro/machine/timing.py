@@ -1,0 +1,126 @@
+"""Execution-time models.
+
+The paper's central argument is that once latency is tolerated (prefetching,
+non-blocking caches), execution time is governed by data *bandwidth*: the
+machine can never run faster than the slowest channel can feed it. The
+:func:`bandwidth_bound_time` model encodes exactly that:
+
+    T = max( flops / peak_flops,
+             register_bytes / register_bw,
+             bytes_level_i / bandwidth_level_i  for every channel )
+
+A serialized :func:`latency_bound_time` model (every miss pays its latency,
+no overlap) and a :func:`overlap_time` model with a tunable number of
+outstanding misses are provided for the comparison experiments — they show
+when bandwidth, not latency, is the binding constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import MachineError
+from .spec import MachineSpec
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Per-resource times for one run; the total is their maximum."""
+
+    machine: str
+    flop_time: float
+    channel_times: tuple[float, ...]  # register channel first, memory last
+    channel_names: tuple[str, ...]
+
+    @property
+    def total(self) -> float:
+        return max((self.flop_time, *self.channel_times))
+
+    @property
+    def bound(self) -> str:
+        """Name of the binding resource ('cpu' or a channel name)."""
+        best, name = self.flop_time, "cpu"
+        for t, n in zip(self.channel_times, self.channel_names):
+            if t > best:
+                best, name = t, n
+        return name
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Fraction of CPU peak actually achievable: flop_time / total.
+
+        The paper's bound: a program whose memory demand/supply ratio is R
+        can use at most 1/R of the CPU.
+        """
+        return self.flop_time / self.total if self.total > 0 else 1.0
+
+    def describe(self) -> str:
+        rows = [f"{self.machine}: total {self.total * 1e3:.3f} ms (bound: {self.bound})"]
+        rows.append(f"  cpu      : {self.flop_time * 1e3:10.3f} ms")
+        for n, t in zip(self.channel_names, self.channel_times):
+            rows.append(f"  {n:<9}: {t * 1e3:10.3f} ms")
+        return "\n".join(rows)
+
+
+def bandwidth_bound_time(
+    spec: MachineSpec,
+    flops: int,
+    register_bytes: int,
+    downstream_bytes: Sequence[int],
+) -> TimeBreakdown:
+    """The bandwidth-constrained execution time (the paper's model).
+
+    ``downstream_bytes[i]`` is the traffic below cache level i, as produced
+    by :meth:`repro.machine.hierarchy.Hierarchy.result`.
+    """
+    if len(downstream_bytes) != len(spec.cache_levels):
+        raise MachineError(
+            f"{spec.name} has {len(spec.cache_levels)} cache levels, "
+            f"got {len(downstream_bytes)} traffic entries"
+        )
+    channel_bytes = (register_bytes, *downstream_bytes)
+    times = tuple(b / bw for b, bw in zip(channel_bytes, spec.bandwidths))
+    return TimeBreakdown(spec.name, flops / spec.peak_flops, times, spec.level_names)
+
+
+def latency_bound_time(
+    spec: MachineSpec,
+    flops: int,
+    level_misses: Sequence[int],
+) -> float:
+    """Fully serialized latency model: every miss at level i stalls for that
+    level's downstream latency; no two misses overlap. An upper bound that
+    old in-order machines approached."""
+    if len(level_misses) != len(spec.cache_levels):
+        raise MachineError("one miss count per cache level required")
+    t = flops / spec.peak_flops
+    for misses, lvl in zip(level_misses, spec.cache_levels):
+        t += misses * lvl.downstream_latency
+    return t
+
+
+def overlap_time(
+    spec: MachineSpec,
+    flops: int,
+    register_bytes: int,
+    downstream_bytes: Sequence[int],
+    level_misses: Sequence[int],
+    outstanding: int = 4,
+) -> float:
+    """Latency tolerance with ``outstanding`` overlapped misses.
+
+    Models a non-blocking cache / software-prefetching machine: latency cost
+    is divided by the permitted overlap, but the bandwidth floor of
+    :func:`bandwidth_bound_time` can never be beaten. As ``outstanding``
+    grows this converges to the pure bandwidth bound — the paper's point
+    that "memory latency cannot be fully tolerated without infinite
+    bandwidth" made operational.
+    """
+    if outstanding < 1:
+        raise MachineError("outstanding misses must be >= 1")
+    bw = bandwidth_bound_time(spec, flops, register_bytes, downstream_bytes).total
+    lat = latency_bound_time(spec, flops, level_misses)
+    cpu = flops / spec.peak_flops
+    tolerated = cpu + (lat - cpu) / outstanding
+    return max(bw, tolerated)

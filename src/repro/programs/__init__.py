@@ -1,0 +1,56 @@
+"""Workload programs: kernels, applications, and the paper's examples."""
+
+from .blas1 import BLAS1_KERNELS, EXPECTED_MEMORY_BALANCE, blas1, blas1_suite
+from .convolution import convolution
+from .dmxpy import dmxpy
+from .fft import fft
+from .jacobi import jacobi
+from .kernels import KERNEL_NAMES, all_kernels, kernel_spec, make_kernel
+from .matmul import matmul, matmul_blocked
+from .nas_sp import STRIDED_SUBROUTINES, SUBROUTINES, nas_sp
+from .paper_examples import (
+    FIG4_PREVENTING,
+    fig4_program,
+    fig6_fused,
+    fig6_optimized,
+    fig6_original,
+    fig7_fused,
+    fig7_original,
+    fig7_store_eliminated,
+    sec21_program,
+    sec21_read_loop,
+    sec21_write_loop,
+)
+from .sweep3d import sweep3d
+
+__all__ = [
+    "BLAS1_KERNELS",
+    "EXPECTED_MEMORY_BALANCE",
+    "FIG4_PREVENTING",
+    "KERNEL_NAMES",
+    "STRIDED_SUBROUTINES",
+    "SUBROUTINES",
+    "all_kernels",
+    "blas1",
+    "blas1_suite",
+    "convolution",
+    "dmxpy",
+    "fft",
+    "fig4_program",
+    "fig6_fused",
+    "fig6_optimized",
+    "fig6_original",
+    "fig7_fused",
+    "fig7_original",
+    "fig7_store_eliminated",
+    "jacobi",
+    "kernel_spec",
+    "make_kernel",
+    "matmul",
+    "matmul_blocked",
+    "nas_sp",
+    "sec21_program",
+    "sec21_read_loop",
+    "sec21_write_loop",
+    "sweep3d",
+]

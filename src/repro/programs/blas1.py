@@ -1,0 +1,59 @@
+"""BLAS level-1 kernels: the purest bandwidth-bound programs.
+
+Four classics with textbook balance values (8-byte elements):
+
+* ``copy``  — y[i] = x[i]                 : 16 B moved / 0 flops
+* ``scal``  — x[i] = a * x[i]             : 16 B / 1 flop
+* ``axpy``  — y[i] = y[i] + a * x[i]      : 24 B / 2 flops = 12 B/flop
+* ``dot``   — s += x[i] * y[i]            : 16 B / 2 flops =  8 B/flop
+
+Every one of them demands an order of magnitude more memory bandwidth
+than the Origin supplies (0.8 B/flop) — the extended balance survey (E17)
+lists them alongside the paper's applications as calibration points whose
+expected balance is known in closed form.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..lang.builder import ProgramBuilder
+from ..lang.program import Program
+
+DEFAULT_N = 32768
+
+BLAS1_KERNELS = ("copy", "scal", "axpy", "dot")
+
+#: Closed-form memory balance (bytes per flop) for each kernel, assuming
+#: streaming access (read + writeback for written arrays). ``copy`` has no
+#: flops; its balance is infinite and it is reported separately.
+EXPECTED_MEMORY_BALANCE = {
+    "scal": 16.0,  # x read + writeback = 16 B, 1 flop
+    "axpy": 12.0,  # x read, y read + writeback = 24 B, 2 flops
+    "dot": 8.0,  # x and y read = 16 B, 2 flops
+}
+
+
+def blas1(kind: str, n: int = DEFAULT_N) -> Program:
+    """Build one BLAS-1 kernel program."""
+    if kind not in BLAS1_KERNELS:
+        raise ReproError(f"kind must be one of {BLAS1_KERNELS}")
+    b = ProgramBuilder(f"blas1_{kind}", params={"N": n})
+    x = b.array("x", "N", output=(kind == "scal"))
+    if kind != "scal":
+        y = b.array("y", "N", output=(kind in ("copy", "axpy")))
+    if kind == "dot":
+        s = b.scalar("dotp", output=True)
+    with b.loop("i", 0, "N") as i:
+        if kind == "copy":
+            b.assign(y[i], x[i])
+        elif kind == "scal":
+            b.assign(x[i], x[i] * 1.0009765625)
+        elif kind == "axpy":
+            b.assign(y[i], y[i] + x[i] * 2.5)
+        else:
+            b.assign(s, s + x[i] * y[i])
+    return b.build()
+
+
+def blas1_suite(n: int = DEFAULT_N) -> dict[str, Program]:
+    return {kind: blas1(kind, n) for kind in BLAS1_KERNELS}

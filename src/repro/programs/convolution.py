@@ -1,0 +1,33 @@
+"""1-D convolution kernel (Figure 1's ``convolution`` row).
+
+``b[i] = sum_k w_k * a[i + k]`` with constant weights: a streaming kernel
+with high reuse inside the tap window but none across the arrays, giving
+the moderate, roughly level balance profile the paper reports (6.4 / 5.1 /
+5.2 bytes per flop).
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..lang.builder import ProgramBuilder
+from ..lang.program import Program
+
+DEFAULT_N = 131072
+DEFAULT_TAPS = 3
+
+_WEIGHTS = (0.25, 0.5, 0.25, 0.125, 0.0625, 0.03125, 0.015625, 0.0078125)
+
+
+def convolution(n: int = DEFAULT_N, taps: int = DEFAULT_TAPS) -> Program:
+    """Build the convolution program (output length ``N - taps + 1``)."""
+    if not (1 <= taps <= len(_WEIGHTS)):
+        raise ReproError(f"taps must be in [1, {len(_WEIGHTS)}]")
+    b = ProgramBuilder("convolution", params={"N": n})
+    a = b.array("a", "N")
+    out = b.array("b", "N", output=True)
+    with b.loop("i", 0, b.sym("N") - (taps - 1)) as i:
+        expr = a[i] * _WEIGHTS[0]
+        for k in range(1, taps):
+            expr = expr + a[i + k] * _WEIGHTS[k]
+        b.assign(out[i], expr)
+    return b.build()

@@ -1,0 +1,31 @@
+"""The Linpack ``dmxpy`` kernel (Figure 1's worst-balance row).
+
+``y = y + x * M`` column by column: every inner iteration loads a fresh
+matrix element and re-loads/stores a vector element, with two flops to
+show for it — the paper measures 8.3–8.4 bytes per flop at *every* level
+and the largest memory demand/supply ratio (10.5) of the suite.
+
+The matrix is streamed row-wise (``m[j, i]``, stride one in the inner
+loop, as the Fortran original is stride one in its inner loop), and the
+``y`` vector is sized like the matrix rows so that, as in Linpack's large
+problems, it does not stay cached between column passes.
+"""
+
+from __future__ import annotations
+
+from ..lang.builder import ProgramBuilder
+from ..lang.program import Program
+
+DEFAULT_N = 131072  # vector length
+DEFAULT_COLS = 16  # number of column passes
+
+
+def dmxpy(n: int = DEFAULT_N, cols: int = DEFAULT_COLS) -> Program:
+    b = ProgramBuilder("dmxpy", params={"N": n, "M": cols})
+    y = b.array("y", "N", output=True)
+    x = b.array("x", "M")
+    m = b.array("m", ("M", "N"))
+    with b.loop("j", 0, "M") as j:
+        with b.loop("i", 0, "N") as i:
+            b.assign(y[i], y[i] + x[j] * m[j, i])
+    return b.build()

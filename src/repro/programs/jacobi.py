@@ -1,0 +1,45 @@
+"""Jacobi relaxation — the classic bandwidth-bound stencil.
+
+A 5-point sweep with ping-pong arrays, plus a fused residual reduction.
+Not one of the paper's Figure 1 rows, but the canonical member of the
+program class its model targets: ~4 flops per point against two
+grid-sized streams. Used by the extended balance survey (E17) and as a
+transformation target in tests (the residual loop fuses into the sweep;
+neither array can shrink — both live across top-level statements — which
+exercises the pipeline's rejection paths).
+"""
+
+from __future__ import annotations
+
+from ..lang.builder import ProgramBuilder
+from ..lang.program import Program
+
+DEFAULT_N = 180
+DEFAULT_SWEEPS = 2
+
+
+def jacobi(n: int = DEFAULT_N, sweeps: int = DEFAULT_SWEEPS) -> Program:
+    """``sweeps`` ping-pong relaxation passes plus a residual norm."""
+    b = ProgramBuilder("jacobi", params={"N": n})
+    u = b.array("u", ("N", "N"), output=True)
+    v = b.array("v", ("N", "N"), output=True)
+    resid = b.scalar("resid", output=True)
+    grids = [u, v]
+    N = b.sym("N")
+
+    for s in range(sweeps):
+        src, dst = grids[s % 2], grids[(s + 1) % 2]
+        with b.loop(f"j{s}", 1, N - 1) as j:
+            with b.loop(f"i{s}", 1, N - 1) as i:
+                b.assign(
+                    dst[j, i],
+                    (src[j, i - 1] + src[j, i + 1] + src[j - 1, i] + src[j + 1, i])
+                    * 0.25,
+                )
+    final = grids[sweeps % 2]
+    other = grids[(sweeps + 1) % 2]
+    with b.loop("jr", 1, N - 1) as j:
+        with b.loop("ir", 1, N - 1) as i:
+            diff = final[j, i] - other[j, i]
+            b.assign(resid, resid + diff * diff)
+    return b.build()

@@ -1,0 +1,97 @@
+"""The stride-one read/write kernels of Figure 3.
+
+Kernels are named ``<w>w<r>r``: the kernel touches ``r`` distinct arrays in
+unit stride and writes ``w`` of them. ``1w2r`` reads two arrays and writes
+one of them; ``0w1r`` only reads. The suite matches the paper's twelve
+labels: 1w1r 2w2r 3w3r 1w2r 1w3r 1w4r 2w3r 2w5r 3w6r 0w1r 0w2r 0w3r.
+
+Arrays are declared (and therefore laid out) in index order a0, a1, ...;
+the Figure 3 Exemplar experiment relies on that order: with the
+conflict-period-of-five layout, the six-array kernel 3w6r is the only one
+whose first and last arrays collide in the direct-mapped cache — the
+paper's footnote-3 anomaly.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..lang.builder import ProgramBuilder
+from ..lang.program import Program
+
+#: The twelve kernels, in the paper's presentation order.
+KERNEL_NAMES: tuple[str, ...] = (
+    "1w1r",
+    "2w2r",
+    "3w3r",
+    "1w2r",
+    "1w3r",
+    "1w4r",
+    "2w3r",
+    "2w5r",
+    "3w6r",
+    "0w1r",
+    "0w2r",
+    "0w3r",
+)
+
+DEFAULT_N = 98304  # elements per array; experiments override per machine
+
+
+def kernel_spec(name: str) -> tuple[int, int]:
+    """Parse '<w>w<r>r' into (written arrays, distinct arrays)."""
+    try:
+        w_part, r_part = name.split("w")
+        w = int(w_part)
+        r = int(r_part.rstrip("r"))
+    except ValueError as exc:
+        raise ReproError(f"bad kernel name {name!r}") from exc
+    if name not in KERNEL_NAMES:
+        raise ReproError(f"unknown kernel {name!r}")
+    return w, r
+
+
+def make_kernel(name: str, n: int = DEFAULT_N) -> Program:
+    """Build one stride-one kernel program.
+
+    Statement patterns (w written arrays a0..a_{w-1}, remaining arrays read
+    only; every statement reads its target, so each written array is also a
+    read — matching the naming convention where 1w1r reads *and* writes one
+    array):
+
+    * read-only kernels accumulate into a scalar;
+    * read/write kernels update ``a_k`` using the read-only arrays spread
+      round-robin.
+    """
+    w, r = kernel_spec(name)
+    b = ProgramBuilder(f"kernel_{name}", params={"N": n})
+    arrays = [b.array(f"a{k}", "N", output=(k < w)) for k in range(r)]
+    if w == 0:
+        total = b.scalar("sum", output=True)
+        with b.loop("i", 0, "N") as i:
+            expr = arrays[0][i]
+            for extra in arrays[1:]:
+                expr = expr * extra[i]
+            b.assign(total, total + expr)
+        return b.build()
+
+    readonly = arrays[w:]
+    with b.loop("i", 0, "N") as i:
+        for k in range(w):
+            target = arrays[k]
+            expr = target[i]
+            if readonly:
+                # Spread the read-only arrays across the written ones.
+                mine = [readonly[j] for j in range(len(readonly)) if j % w == k]
+                for extra in mine:
+                    expr = expr + extra[i]
+                if not mine:
+                    expr = expr + 0.5
+            else:
+                expr = expr + 0.5
+            b.assign(target[i], expr)
+    return b.build()
+
+
+def all_kernels(n: int = DEFAULT_N) -> dict[str, Program]:
+    """The full Figure 3 suite."""
+    return {name: make_kernel(name, n) for name in KERNEL_NAMES}

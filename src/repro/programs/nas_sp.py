@@ -1,0 +1,116 @@
+"""Miniature NAS/SP (Figure 1's ``NAS/SP`` row; §2.3's utilization study).
+
+The real SP benchmark is a 3 000-line ADI solver; its role in the paper is
+to supply (a) a whole-application balance row (10.8 / 6.4 / 4.9 B/flop)
+and (b) the §2.3 claim that 5 of its 7 major subroutines saturate >= 84 %
+of the Origin's memory bandwidth. Both are properties of its structure:
+a few dozen grid-sized arrays swept by seven phases, most of them
+streaming, with the ADI line solves along the non-contiguous axes
+accessing memory at large strides.
+
+This miniature keeps that structure on a 2-D grid:
+
+* ``compute_rhs``, ``txinvr``, ``x_solve``, ``add``, ``norm`` sweep the
+  grid with the contiguous axis innermost (stride-one, saturating);
+* ``y_solve`` and ``z_solve`` sweep with the *row* axis innermost
+  (stride ``NX`` elements — each element touch pulls a whole cache line,
+  so these phases burn latency and fall below the saturation threshold,
+  exactly the two laggard subroutines of §2.3).
+
+One top-level loop nest per subroutine, so per-subroutine counters come
+from per-statement traces.
+"""
+
+from __future__ import annotations
+
+from ..lang.builder import ProgramBuilder, call
+from ..lang.program import Program
+
+DEFAULT_NX = 192
+DEFAULT_NY = 192
+
+#: Subroutine order as in SP's main iteration; index = top-level position.
+SUBROUTINES = (
+    "compute_rhs",
+    "txinvr",
+    "x_solve",
+    "y_solve",
+    "z_solve",
+    "add",
+    "norm",
+)
+
+#: The phases whose innermost axis is non-contiguous.
+STRIDED_SUBROUTINES = ("y_solve", "z_solve")
+
+
+def nas_sp(nx: int = DEFAULT_NX, ny: int = DEFAULT_NY) -> Program:
+    """Build the seven-phase miniature; top-level statement ``k`` is
+    subroutine ``SUBROUTINES[k]``."""
+    b = ProgramBuilder("nas_sp", params={"NX": nx, "NY": ny})
+    u = [b.array(f"u{k}", ("NY", "NX"), output=True) for k in range(3)]
+    rhs = [b.array(f"rhs{k}", ("NY", "NX")) for k in range(3)]
+    frc = [b.array(f"frc{k}", ("NY", "NX")) for k in range(3)]
+    rho_i = b.array("rho_i", ("NY", "NX"))
+    qs = b.array("qs", ("NY", "NX"))
+    speed = b.array("speed", ("NY", "NX"))
+    lhs = b.array("lhs", ("NY", "NX"))
+    norm = b.scalar("rnorm", output=True)
+    NX, NY = b.sym("NX"), b.sym("NY")
+
+    # compute_rhs: rhs_k = frc_k + stencil(u_k); refresh rho_i/qs/speed.
+    with b.loop("j0", 0, "NY") as j:
+        with b.loop("i0", 1, NX - 1) as i:
+            b.assign(rho_i[j, i], 1.0 / (u[0][j, i] + 0.5))
+            b.assign(qs[j, i], (u[1][j, i] * u[1][j, i] + u[2][j, i] * u[2][j, i]) * rho_i[j, i])
+            b.assign(speed[j, i], call("sqrt", qs[j, i] + 1.4))
+            for k in range(3):
+                b.assign(
+                    rhs[k][j, i],
+                    frc[k][j, i]
+                    + (u[k][j, i - 1] - u[k][j, i] * 2.0 + u[k][j, i + 1]) * 0.1,
+                )
+
+    # txinvr: scale rhs by the inverse-density block diagonal.
+    with b.loop("j1", 0, "NY") as j:
+        with b.loop("i1", 1, NX - 1) as i:
+            for k in range(3):
+                b.assign(rhs[k][j, i], rhs[k][j, i] * rho_i[j, i] - qs[j, i] * 0.01)
+
+    # x_solve: line sweep along the contiguous axis (stride one).
+    with b.loop("j2", 0, "NY") as j:
+        with b.loop("i2", 1, NX - 1) as i:
+            b.assign(lhs[j, i], 1.0 / (speed[j, i] + 2.0))
+            b.assign(rhs[0][j, i], (rhs[0][j, i] - rhs[0][j, i - 1] * 0.2) * lhs[j, i])
+
+    # y_solve / z_solve: line sweeps along the row axis — innermost loop
+    # walks column-wise, stride NX elements (the ADI transpose sweeps).
+    for axis, (jv, iv) in enumerate((("i3", "j3"), ("i4", "j4"))):
+        comp = axis + 1
+        t = b.scalar(f"t{axis}")
+        with b.loop(jv, 0, "NX") as i:
+            with b.loop(iv, 1, NY - 1) as j:
+                # Real SP back-substitutes a 5x5 block system per cell —
+                # over a hundred register-resident flops per element. The
+                # miniature models that flop density with a Newton-style
+                # refinement chain on a scalar: one strided array column
+                # (which the cache keeps resident) plus dense arithmetic.
+                # These are the phases that do NOT saturate memory
+                # bandwidth in §2.3's utilization study.
+                b.assign(t, rhs[comp][j, i] - rhs[comp][j - 1, i] * 0.2)
+                for _ in range(8):
+                    b.assign(t, (t + (1.5 + 0.25 * comp) / t) * 0.5)
+                b.assign(rhs[comp][j, i], t * 0.9)
+
+    # add: u_k += rhs_k (stride one).
+    with b.loop("j5", 0, "NY") as j:
+        with b.loop("i5", 1, NX - 1) as i:
+            for k in range(3):
+                b.assign(u[k][j, i], u[k][j, i] + rhs[k][j, i])
+
+    # norm: residual reduction (stride one).
+    with b.loop("j6", 0, "NY") as j:
+        with b.loop("i6", 1, NX - 1) as i:
+            b.assign(norm, norm + rhs[0][j, i] * rhs[0][j, i])
+
+    return b.build()

@@ -1,0 +1,208 @@
+"""The paper's own example programs, transcribed 0-based.
+
+* §2.1 — the write-loop vs read-loop pair showing bandwidth (not latency)
+  governs the times;
+* Figure 4 — the six-loop fusion counterexample as a real IR program whose
+  fusion graph matches the figure;
+* Figure 6 — the three stages of storage reduction: original, fused, and
+  shrunk+peeled, each exactly as printed in the paper (and verified
+  equivalent by the test suite — a check the paper's authors never ran);
+* Figure 7 — the store-elimination example, original and hand-fused.
+"""
+
+from __future__ import annotations
+
+from ..lang.builder import ProgramBuilder, call
+from ..lang.program import Program
+
+SEC21_N = 131072
+FIG_N = 512
+
+
+# ---------------------------------------------------------------------------
+# Section 2.1
+# ---------------------------------------------------------------------------
+
+def sec21_program(n: int = SEC21_N) -> Program:
+    """Both loops of the §2.1 example, in order."""
+    b = ProgramBuilder("sec21", params={"N": n})
+    a = b.array("A", "N", output=True)
+    s = b.scalar("sum", output=True)
+    with b.loop("i", 0, "N") as i:
+        b.assign(a[i], a[i] + 0.4)
+    with b.loop("i", 0, "N") as i:
+        b.assign(s, s + a[i])
+    return b.build()
+
+
+def sec21_write_loop(n: int = SEC21_N) -> Program:
+    """The first loop alone: reads and writes the array."""
+    b = ProgramBuilder("sec21_write", params={"N": n})
+    a = b.array("A", "N", output=True)
+    with b.loop("i", 0, "N") as i:
+        b.assign(a[i], a[i] + 0.4)
+    return b.build()
+
+
+def sec21_read_loop(n: int = SEC21_N) -> Program:
+    """The second loop alone: reads only."""
+    b = ProgramBuilder("sec21_read", params={"N": n})
+    a = b.array("A", "N")
+    s = b.scalar("sum", output=True)
+    with b.loop("i", 0, "N") as i:
+        b.assign(s, s + a[i])
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — six loops over arrays A..F plus the reduction scalar
+# ---------------------------------------------------------------------------
+
+def fig4_program(n: int = FIG_N) -> Program:
+    """An IR program whose fusion graph is the paper's Figure 4.
+
+    Loops 1-3 access {A, D, E, F}; loop 4 accesses {B, C, D, E, F}; loop 5
+    accesses {A}; loop 6 accesses {B, C}. Loop 6 depends on loop 5 through
+    the reduction scalar. The figure's *assumed* fusion-preventing edge
+    between loops 5 and 6 is supplied to the graph builder by the Figure 4
+    experiment (``extra_preventing=[(4, 5)]``), as in the paper.
+    """
+    b = ProgramBuilder("fig4", params={"N": n})
+    A = b.array("A", "N")
+    B = b.array("B", "N")
+    C = b.array("C", "N")
+    D = b.array("D", "N", output=True)
+    E = b.array("E", "N", output=True)
+    F = b.array("F", "N", output=True)
+    s = b.scalar("sum", output=True)
+    with b.loop("i1", 0, "N") as i:
+        b.assign(D[i], A[i] + E[i] * F[i])
+    with b.loop("i2", 0, "N") as i:
+        b.assign(E[i], A[i] + D[i] * F[i])
+    with b.loop("i3", 0, "N") as i:
+        b.assign(F[i], A[i] + D[i] * E[i])
+    with b.loop("i4", 0, "N") as i:
+        b.assign(B[i], C[i] + D[i] * E[i] + F[i])
+    with b.loop("i5", 0, "N") as i:
+        b.assign(s, s + A[i])
+    with b.loop("i6", 0, "N") as i:
+        b.assign(s, s + B[i] * C[i])
+    return b.build()
+
+
+#: The fusion-preventing pair the figure assumes (0-based node indices).
+FIG4_PREVENTING: tuple[tuple[int, int], ...] = ((4, 5),)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — original / fused / shrunk+peeled
+# ---------------------------------------------------------------------------
+
+def fig6_original(n: int = FIG_N) -> Program:
+    """Figure 6(a): init, compute, boundary fix, checksum (0-based)."""
+    b = ProgramBuilder("fig6_original", params={"N": n})
+    a = b.array("a", ("N", "N"))
+    bb = b.array("b", ("N", "N"))
+    s = b.scalar("sum", output=True)
+    N = b.sym("N")
+    with b.loop("j", 0, "N") as j:
+        with b.loop("i", 0, "N") as i:
+            b.read(a[i, j])
+    with b.loop("j", 1, "N") as j:
+        with b.loop("i", 0, "N") as i:
+            b.assign(bb[i, j], call("f", a[i, j - 1], a[i, j]))
+    with b.loop("i", 0, "N") as i:
+        b.assign(bb[i, N - 1], call("g", bb[i, N - 1], a[i, 0]))
+    with b.loop("j", 1, "N") as j:
+        with b.loop("i", 0, "N") as i:
+            b.assign(s, s + a[i, j] + bb[i, j])
+    return b.build()
+
+
+def fig6_fused(n: int = FIG_N) -> Program:
+    """Figure 6(b): guard-based fusion of all four loops."""
+    b = ProgramBuilder("fig6_fused", params={"N": n})
+    a = b.array("a", ("N", "N"))
+    bb = b.array("b", ("N", "N"))
+    s = b.scalar("sum", output=True)
+    N = b.sym("N")
+    with b.loop("i", 0, "N") as i:
+        b.read(a[i, 0])
+    with b.loop("j", 1, "N") as j:
+        with b.loop("i", 0, "N") as i:
+            b.read(a[i, j])
+            b.assign(bb[i, j], call("f", a[i, j - 1], a[i, j]))
+            with b.if_(j <= N - 2):
+                b.assign(s, s + a[i, j] + bb[i, j])
+            with b.else_():
+                b.assign(bb[i, N - 1], call("g", bb[i, N - 1], a[i, 0]))
+                b.assign(s, s + bb[i, N - 1] + a[i, N - 1])
+    return b.build()
+
+
+def fig6_optimized(n: int = FIG_N) -> Program:
+    """Figure 6(c): after array shrinking and peeling — two N-vectors and
+    two scalars instead of two N^2 arrays."""
+    b = ProgramBuilder("fig6_optimized", params={"N": n})
+    a1 = b.array("a1", "N")  # peeled slice a[*, 0]
+    a3 = b.array("a3", "N")  # shrink buffer carrying a[*, j-1]
+    s = b.scalar("sum", output=True)
+    b1 = b.scalar("b1")
+    a2 = b.scalar("a2")
+    N = b.sym("N")
+    with b.loop("i", 0, "N") as i:
+        b.read(a1[i])
+    with b.loop("j", 1, "N") as j:
+        with b.loop("i", 0, "N") as i:
+            b.read(a2)
+            with b.if_(j.eq(1)):
+                b.assign(b1, call("f", a1[i], a2))
+            with b.else_():
+                b.assign(b1, call("f", a3[i], a2))
+            with b.if_(j <= N - 2):
+                b.assign(s, s + a2 + b1)
+                b.assign(a3[i], a2)
+            with b.else_():
+                b.assign(b1, call("g", b1, a1[i]))
+                b.assign(s, s + b1 + a2)
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — store elimination
+# ---------------------------------------------------------------------------
+
+def fig7_original(n: int = SEC21_N) -> Program:
+    """Figure 7(a): update res, then reduce it."""
+    b = ProgramBuilder("fig7", params={"N": n})
+    res = b.array("res", "N")
+    data = b.array("data", "N")
+    s = b.scalar("sum", output=True)
+    with b.loop("i", 0, "N") as i:
+        b.assign(res[i], res[i] + data[i])
+    with b.loop("i", 0, "N") as i:
+        b.assign(s, s + res[i])
+    return b.build()
+
+
+def fig7_fused(n: int = SEC21_N) -> Program:
+    """Figure 7(b): fused but still storing res."""
+    b = ProgramBuilder("fig7_fused", params={"N": n})
+    res = b.array("res", "N")
+    data = b.array("data", "N")
+    s = b.scalar("sum", output=True)
+    with b.loop("i", 0, "N") as i:
+        b.assign(res[i], res[i] + data[i])
+        b.assign(s, s + res[i])
+    return b.build()
+
+
+def fig7_store_eliminated(n: int = SEC21_N) -> Program:
+    """Figure 7(c): ``sum += res[i] + data[i]`` — the store is gone."""
+    b = ProgramBuilder("fig7_se", params={"N": n})
+    res = b.array("res", "N")
+    data = b.array("data", "N")
+    s = b.scalar("sum", output=True)
+    with b.loop("i", 0, "N") as i:
+        b.assign(s, s + res[i] + data[i])
+    return b.build()

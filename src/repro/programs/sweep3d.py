@@ -1,0 +1,42 @@
+"""Miniature Sweep3D (Figure 1's ``Sweep3D`` row).
+
+DOE's Sweep3D performs wavefront transport sweeps: each cell's flux
+depends on its upwind neighbours, and the sweep repeats for multiple
+octants and angles. The balance-relevant structure — several grid-sized
+arrays read per cell, a recurrence, few flops per byte — is preserved
+here on a 2-D grid with a configurable number of octant passes (the
+lexicographic loop order *is* the wavefront order for the ++ octant, so
+the recurrence is legal sequential code).
+"""
+
+from __future__ import annotations
+
+from ..lang.builder import ProgramBuilder
+from ..lang.program import Program
+
+DEFAULT_N = 384
+DEFAULT_OCTANTS = 2
+
+
+def sweep3d(n: int = DEFAULT_N, octants: int = DEFAULT_OCTANTS) -> Program:
+    b = ProgramBuilder("sweep3d", params={"N": n})
+    phi = b.array("phi", ("N", "N"))
+    src = b.array("src", ("N", "N"))
+    sigt = b.array("sigt", ("N", "N"))
+    flux = b.array("flux", ("N", "N"), output=True)
+
+    for octant in range(octants):
+        jvar, ivar = f"j{octant}", f"i{octant}"
+        mu, eta = 0.3 + 0.1 * octant, 0.6 - 0.1 * octant
+        with b.loop(jvar, 1, "N") as j:
+            with b.loop(ivar, 1, "N") as i:
+                # Row-major [j, i]: the inner i walks contiguously; the
+                # recurrence reads the west (i-1) and north (j-1) upwind
+                # neighbours, and lexicographic order is the ++ wavefront.
+                b.assign(
+                    phi[j, i],
+                    (src[j, i] + phi[j, i - 1] * mu + phi[j - 1, i] * eta)
+                    / (sigt[j, i] + 1.0),
+                )
+                b.assign(flux[j, i], flux[j, i] + phi[j, i] * 0.5)
+    return b.build()

@@ -1,0 +1,20 @@
+"""Trace engine: IR programs -> exact ordered memory-access streams."""
+
+from .events import EMPTY_TRACE, Trace, concat_traces
+from .generator import TraceGenerator, generate_trace
+from .io import load_trace, save_trace
+from .stats import TraceStats, per_array_accesses, stride_histogram, trace_stats
+
+__all__ = [
+    "EMPTY_TRACE",
+    "Trace",
+    "TraceGenerator",
+    "TraceStats",
+    "concat_traces",
+    "generate_trace",
+    "load_trace",
+    "save_trace",
+    "per_array_accesses",
+    "stride_histogram",
+    "trace_stats",
+]

@@ -1,0 +1,77 @@
+"""Trace containers.
+
+A :class:`Trace` is the ordered element-granularity access stream of one
+program run, plus the executed operation counts the balance model needs
+(flops, element loads/stores). Traces are plain NumPy arrays so the cache
+simulator can consume them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Trace:
+    """Ordered access stream of one program execution."""
+
+    addresses: np.ndarray  # int64 byte addresses, element granularity
+    is_write: np.ndarray  # bool, parallel to addresses
+    flops: int
+    loads: int  # executed array-element reads
+    stores: int  # executed array-element writes
+
+    def __post_init__(self) -> None:
+        assert self.addresses.dtype == np.int64
+        assert self.is_write.dtype == np.bool_
+        assert len(self.addresses) == len(self.is_write)
+        assert self.loads + self.stores == len(self.addresses)
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def register_bytes(self) -> int:
+        """Register<->L1 traffic: every executed element access moves one
+        element between the register file and L1 (8-byte elements)."""
+        return 8 * (self.loads + self.stores)
+
+    def concat(self, other: "Trace") -> "Trace":
+        return Trace(
+            np.concatenate([self.addresses, other.addresses]),
+            np.concatenate([self.is_write, other.is_write]),
+            self.flops + other.flops,
+            self.loads + other.loads,
+            self.stores + other.stores,
+        )
+
+    def repeated(self, times: int) -> "Trace":
+        """The trace of running the same code ``times`` times in a row."""
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        return Trace(
+            np.tile(self.addresses, times),
+            np.tile(self.is_write, times),
+            self.flops * times,
+            self.loads * times,
+            self.stores * times,
+        )
+
+
+EMPTY_TRACE = Trace(
+    np.empty(0, dtype=np.int64), np.empty(0, dtype=np.bool_), 0, 0, 0
+)
+
+
+def concat_traces(traces: list[Trace]) -> Trace:
+    if not traces:
+        return EMPTY_TRACE
+    return Trace(
+        np.concatenate([t.addresses for t in traces]),
+        np.concatenate([t.is_write for t in traces]),
+        sum(t.flops for t in traces),
+        sum(t.loads for t in traces),
+        sum(t.stores for t in traces),
+    )

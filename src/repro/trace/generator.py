@@ -1,0 +1,325 @@
+"""Vectorized trace generation from IR programs.
+
+The generator converts a program instance (program + parameter binding +
+memory layout) into the exact ordered stream of element accesses the
+program performs, without interpreting iterations one by one:
+
+* every loop contributes a NumPy grid axis;
+* every leaf statement contributes fixed columns of a per-iteration "row"
+  of accesses (RHS reads left-to-right, then the LHS write);
+* a nested loop inside a body contributes ``trip x width`` columns, so
+  imperfect nests (pre-statements, inner loop, post-statements) flatten to
+  the exact execution order;
+* guards contribute *masked* columns — the column layout is fixed and a
+  boolean activity matrix selects which accesses execute.
+
+Flattening the row matrix in C order yields the precise interleaving a
+sequential execution produces. Guard-free programs skip the activity
+matrix entirely (fast path).
+
+Loops must be rectangular: bounds may use parameters but not enclosing
+loop variables (all of the paper's codes satisfy this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ExecutionError, IRError
+from ..lang.expr import ArrayRef, array_refs, flop_count
+from ..lang.program import Program
+from ..lang.stmt import Assign, ExternalRead, If, Loop, Stmt
+from ..machine.layout import MemoryLayout, build_layout
+from .events import EMPTY_TRACE, Trace, concat_traces
+
+
+@dataclass
+class _Block:
+    """Access columns of a statement list over an iteration grid.
+
+    ``addrs`` has shape ``(*grid, width)``; ``writes`` has shape
+    ``(width,)``; ``active`` is None (all active) or ``(*grid, width)``
+    bool. Scalar totals count executed operations under the activity mask.
+    """
+
+    addrs: np.ndarray
+    writes: np.ndarray
+    active: np.ndarray | None
+    flops: int
+    loads: int
+    stores: int
+
+    @property
+    def width(self) -> int:
+        return self.addrs.shape[-1]
+
+
+def _empty_block(grid_shape: tuple[int, ...]) -> _Block:
+    return _Block(
+        np.empty(grid_shape + (0,), dtype=np.int64),
+        np.empty(0, dtype=np.bool_),
+        None,
+        0,
+        0,
+        0,
+    )
+
+
+class TraceGenerator:
+    """Generates traces for one program instance."""
+
+    def __init__(
+        self,
+        program: Program,
+        params: Mapping[str, int] | None = None,
+        layout: MemoryLayout | None = None,
+        validate: bool = True,
+    ):
+        self.program = program
+        self.params = program.bind_params(params)
+        self.layout = layout or build_layout(program, self.params)
+        self.validate = validate
+
+    # -- public API ----------------------------------------------------------
+    def generate(self) -> Trace:
+        """The full program trace."""
+        return concat_traces([self.statement_trace(i) for i in range(len(self.program.body))])
+
+    def statement_trace(self, index: int) -> Trace:
+        """Trace of one top-level statement (used for per-subroutine
+        measurements such as the NAS/SP utilization experiment)."""
+        stmt = self.program.body[index]
+        env: dict[str, np.ndarray | int] = dict(self.params)
+        block = self._build([stmt], (), env, None)
+        return self._flatten(block)
+
+    # -- block construction ----------------------------------------------------
+    def _build(
+        self,
+        stmts: list[Stmt] | tuple[Stmt, ...],
+        grid_shape: tuple[int, ...],
+        env: dict[str, np.ndarray | int],
+        mask: np.ndarray | None,
+    ) -> _Block:
+        blocks = [self._build_one(s, grid_shape, env, mask) for s in stmts]
+        blocks = [b for b in blocks if b.width > 0 or b.flops > 0]
+        if not blocks:
+            return _empty_block(grid_shape)
+        if len(blocks) == 1:
+            return blocks[0]
+        return self._concat(blocks, grid_shape)
+
+    def _concat(self, blocks: list[_Block], grid_shape: tuple[int, ...]) -> _Block:
+        addrs = np.concatenate([b.addrs for b in blocks], axis=-1)
+        writes = np.concatenate([b.writes for b in blocks])
+        if any(b.active is not None for b in blocks):
+            parts = []
+            for b in blocks:
+                if b.active is None:
+                    parts.append(np.ones(grid_shape + (b.width,), dtype=np.bool_))
+                else:
+                    parts.append(b.active)
+            active: np.ndarray | None = np.concatenate(parts, axis=-1)
+        else:
+            active = None
+        return _Block(
+            addrs,
+            writes,
+            active,
+            sum(b.flops for b in blocks),
+            sum(b.loads for b in blocks),
+            sum(b.stores for b in blocks),
+        )
+
+    def _build_one(
+        self,
+        stmt: Stmt,
+        grid_shape: tuple[int, ...],
+        env: dict[str, np.ndarray | int],
+        mask: np.ndarray | None,
+    ) -> _Block:
+        if isinstance(stmt, (Assign, ExternalRead)):
+            return self._build_leaf(stmt, grid_shape, env, mask)
+        if isinstance(stmt, If):
+            return self._build_if(stmt, grid_shape, env, mask)
+        if isinstance(stmt, Loop):
+            return self._build_loop(stmt, grid_shape, env, mask)
+        raise IRError(f"cannot trace statement {type(stmt).__name__}")
+
+    def _build_leaf(
+        self,
+        stmt: Assign | ExternalRead,
+        grid_shape: tuple[int, ...],
+        env: dict[str, np.ndarray | int],
+        mask: np.ndarray | None,
+    ) -> _Block:
+        if isinstance(stmt, Assign):
+            reads = array_refs(stmt.rhs)
+            write_ref = stmt.lhs if isinstance(stmt.lhs, ArrayRef) else None
+            flops_per_iter = flop_count(stmt.rhs)
+        else:
+            reads = []
+            write_ref = stmt.lhs if isinstance(stmt.lhs, ArrayRef) else None
+            flops_per_iter = 0
+
+        refs = list(reads) + ([write_ref] if write_ref is not None else [])
+        iters = int(np.prod(grid_shape)) if grid_shape else 1
+        active_count = int(mask.sum()) if mask is not None else iters
+
+        if not refs:
+            return _Block(
+                np.empty(grid_shape + (0,), dtype=np.int64),
+                np.empty(0, dtype=np.bool_),
+                None,
+                flops_per_iter * active_count,
+                0,
+                0,
+            )
+
+        cols = [self._ref_addresses(ref, grid_shape, env, mask) for ref in refs]
+        addrs = np.stack(cols, axis=-1)
+        writes = np.zeros(len(refs), dtype=np.bool_)
+        if write_ref is not None:
+            writes[-1] = True
+        active = None
+        if mask is not None:
+            active = np.broadcast_to(mask[..., None], grid_shape + (len(refs),)).copy()
+        return _Block(
+            addrs,
+            writes,
+            active,
+            flops_per_iter * active_count,
+            len(reads) * active_count,
+            (1 if write_ref is not None else 0) * active_count,
+        )
+
+    def _ref_addresses(
+        self,
+        ref: ArrayRef,
+        grid_shape: tuple[int, ...],
+        env: dict[str, np.ndarray | int],
+        mask: np.ndarray | None,
+    ) -> np.ndarray:
+        subs = tuple(
+            np.broadcast_to(np.asarray(sub.evaluate_vec(env)), grid_shape)
+            for sub in ref.index
+        )
+        if self.validate:
+            placement = self.layout[ref.array]
+            for dim, (sub, extent) in enumerate(zip(subs, placement.extents)):
+                vals = sub[mask] if (mask is not None and sub.shape == mask.shape) else sub
+                if vals.size:
+                    lo, hi = int(vals.min()), int(vals.max())
+                    if lo < 0 or hi >= extent:
+                        raise ExecutionError(
+                            f"{self.program.name}: {ref} dimension {dim} ranges "
+                            f"[{lo}, {hi}] outside extent {extent}"
+                        )
+        addr = self.layout.element_addresses(ref.array, subs)
+        return np.broadcast_to(addr, grid_shape)
+
+    def _build_if(
+        self,
+        stmt: If,
+        grid_shape: tuple[int, ...],
+        env: dict[str, np.ndarray | int],
+        mask: np.ndarray | None,
+    ) -> _Block:
+        cond = np.broadcast_to(np.asarray(stmt.cond.evaluate_vec(env), dtype=np.bool_), grid_shape)
+        then_mask = cond if mask is None else (mask & cond)
+        else_mask = ~cond if mask is None else (mask & ~cond)
+        blocks = []
+        if stmt.then:
+            blocks.append(self._build(stmt.then, grid_shape, env, then_mask))
+        if stmt.orelse:
+            blocks.append(self._build(stmt.orelse, grid_shape, env, else_mask))
+        if not blocks:
+            return _empty_block(grid_shape)
+        if len(blocks) == 1:
+            return blocks[0]
+        return self._concat(blocks, grid_shape)
+
+    def _build_loop(
+        self,
+        stmt: Loop,
+        grid_shape: tuple[int, ...],
+        env: dict[str, np.ndarray | int],
+        mask: np.ndarray | None,
+    ) -> _Block:
+        # The trip count must be grid-invariant (affine in parameters only);
+        # the *lower bound* may depend on enclosing loop variables, which is
+        # what tiled loops produce (inner bounds lo + T*tile_var).
+        span = stmt.upper - stmt.lower
+        loose = span.symbols - set(self.params)
+        if loose:
+            raise IRError(
+                f"loop {stmt.var}: trip count depends on {sorted(loose)}; only "
+                "grid-invariant trip counts can be traced"
+            )
+        trip = max(0, span.evaluate(self.params))
+        child_shape = grid_shape + (trip,)
+        if trip == 0:
+            return _empty_block(grid_shape)
+        child_env = dict(env)
+        # Existing grids gain a trailing axis; the new variable varies on it.
+        for k, v in env.items():
+            if isinstance(v, np.ndarray):
+                child_env[k] = v[..., None]
+        steps = np.arange(trip, dtype=np.int64).reshape((1,) * len(grid_shape) + (trip,))
+        lower_vec = np.asarray(stmt.lower.evaluate_vec(child_env))
+        child_env[stmt.var] = lower_vec + steps
+        child_mask = None
+        if mask is not None:
+            child_mask = np.broadcast_to(mask[..., None], child_shape).copy()
+        child = self._build(stmt.body, child_shape, child_env, child_mask)
+        # Fold the loop axis into the column axis: per outer iteration the
+        # row is trip * child_width accesses, in execution order.
+        width = child.width
+        addrs = np.broadcast_to(child.addrs, child_shape + (width,)).reshape(
+            grid_shape + (trip * width,)
+        )
+        writes = np.tile(child.writes, trip)
+        active = None
+        if child.active is not None:
+            active = child.active.reshape(grid_shape + (trip * width,))
+        return _Block(addrs, writes, active, child.flops, child.loads, child.stores)
+
+    # -- flattening -------------------------------------------------------------
+    def _flatten(self, block: _Block) -> Trace:
+        if block.width == 0:
+            if block.flops:
+                return Trace(
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.bool_),
+                    block.flops,
+                    0,
+                    0,
+                )
+            return EMPTY_TRACE
+        grid_shape = block.addrs.shape[:-1]
+        addrs = np.ascontiguousarray(block.addrs).reshape(-1)
+        writes = np.broadcast_to(block.writes, grid_shape + (block.width,)).reshape(-1)
+        if block.active is not None:
+            keep = block.active.reshape(-1)
+            addrs = addrs[keep]
+            writes = writes[keep]
+        return Trace(
+            addrs.astype(np.int64, copy=False),
+            np.ascontiguousarray(writes, dtype=np.bool_),
+            block.flops,
+            block.loads,
+            block.stores,
+        )
+
+
+def generate_trace(
+    program: Program,
+    params: Mapping[str, int] | None = None,
+    layout: MemoryLayout | None = None,
+    validate: bool = True,
+) -> Trace:
+    """Convenience wrapper: the full trace of one program instance."""
+    return TraceGenerator(program, params, layout, validate).generate()

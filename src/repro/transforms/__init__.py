@@ -1,0 +1,33 @@
+"""Compiler transformations (paper section 3) and classical baselines."""
+
+from .contraction import contract_arrays, contractible_arrays
+from .interchange import permute_nest
+from .normalize import normalize_guard_contexts
+from .peeling import peel_array
+from .regrouping import regroup_arrays, regroupable_sets
+from .pipeline import PipelineResult, PipelineStage, optimize
+from .scalar_replacement import replace_scalars
+from .shrinking import shrink_array, shrinkable_arrays
+from .store_elim import eliminate_stores
+from .tiling import tile_nest
+from .verify import is_equivalent, verify_equivalent
+
+__all__ = [
+    "PipelineResult",
+    "PipelineStage",
+    "contract_arrays",
+    "contractible_arrays",
+    "eliminate_stores",
+    "is_equivalent",
+    "normalize_guard_contexts",
+    "optimize",
+    "peel_array",
+    "regroup_arrays",
+    "regroupable_sets",
+    "permute_nest",
+    "replace_scalars",
+    "shrink_array",
+    "shrinkable_arrays",
+    "tile_nest",
+    "verify_equivalent",
+]

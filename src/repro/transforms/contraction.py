@@ -1,0 +1,192 @@
+"""Array contraction (Sarkar & Gao 1991) — the baseline storage reduction.
+
+An array whose element live ranges are contained in a single iteration of
+the loop that defines it (write first, all reads at the same subscript
+afterwards, dead outside the loop) is replaced by a scalar. This is the
+special case of the paper's array shrinking where the carried distance is
+zero; the paper's own transforms (shrinking/peeling) generalize it.
+
+    for i:  b[i] = f(...)            for i:  b1 = f(...)
+            c[i] = b[i] * 2    ->            c[i] = b1 * 2
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import TransformError
+from ..lang.analysis.arrays import access_sets, refs_of_array
+from ..lang.analysis.liveness import live_ranges
+from ..lang.expr import ArrayRef, Expr, ScalarRef, replace_array
+from ..lang.program import Program
+from ..lang.stmt import Assign, ExternalRead, If, Loop, Stmt
+from ..lang.types import ScalarDecl
+
+
+def contractible_arrays(program: Program) -> frozenset[str]:
+    """Arrays whose full live range sits inside one top-level statement and
+    that are not outputs (candidates; per-array legality still applies)."""
+    out: set[str] = set()
+    for name, lr in live_ranges(program).items():
+        if name in program.outputs:
+            continue
+        if not lr.writes:
+            # A read-only array carries live-in values per element; it can
+            # never collapse to a scalar.
+            continue
+        positions = set(lr.reads) | set(lr.writes)
+        if len(positions) == 1:
+            out.add(name)
+    return frozenset(out)
+
+
+def _rewrite_block(stmts: Sequence[Stmt], array: str, scalar: str) -> list[Stmt]:
+    """Replace refs of ``array`` with ``scalar``, enforcing write-first."""
+    defined = False
+    out: list[Stmt] = []
+    for s in stmts:
+        if isinstance(s, Assign):
+            def transform(ref: ArrayRef) -> Expr:
+                if ref.array != array:
+                    return ref
+                if not defined:
+                    raise TransformError(
+                        f"{array} is read before it is written in an iteration; "
+                        "cannot contract"
+                    )
+                return ScalarRef(scalar)
+
+            rhs = replace_array(s.rhs, transform)
+            if isinstance(s.lhs, ArrayRef) and s.lhs.array == array:
+                out.append(Assign(ScalarRef(scalar), rhs))
+                defined = True
+            else:
+                out.append(Assign(s.lhs, rhs))
+        elif isinstance(s, ExternalRead):
+            if isinstance(s.lhs, ArrayRef) and s.lhs.array == array:
+                raise TransformError(f"{array} is filled by read(); cannot contract")
+            out.append(s)
+        elif isinstance(s, If):
+            # A value defined under a guard is not available on the other
+            # path; only contract when the guard does not touch the array,
+            # or both branches define it before use independently.
+            touched = access_sets(s).touched
+            if array in touched:
+                then = _rewrite_block(s.then, array, scalar)
+                orelse = _rewrite_block(s.orelse, array, scalar) if s.orelse else []
+                out.append(If(s.cond, tuple(then), tuple(orelse)))
+                then_writes = array in access_sets(If(s.cond, s.then, ())).writes if s.then else False
+                else_writes = (
+                    array in access_sets(If(s.cond, (), s.orelse)).writes if s.orelse else False
+                )
+                if then_writes and (not s.orelse or else_writes):
+                    defined = True
+            else:
+                out.append(s)
+        elif isinstance(s, Loop):
+            if array in access_sets(s).touched:
+                raise TransformError(
+                    f"{array} is accessed across iterations of a nested loop; "
+                    "cannot contract to a scalar"
+                )
+            out.append(s)
+        else:
+            out.append(s)
+    return out
+
+
+def _subscripts_consistent(node: Stmt, array: str) -> bool:
+    """All refs of ``array`` inside ``node`` use one identical subscript."""
+    reads, writes = refs_of_array(node, array)
+    subs = {r.index for r in reads} | {w.index for w in writes}
+    return len(subs) == 1
+
+
+def contract_arrays(
+    program: Program,
+    arrays: Sequence[str] | None = None,
+    name: str | None = None,
+) -> Program:
+    """Contract every eligible array (or exactly ``arrays``) to scalars."""
+    explicit = arrays is not None
+    candidates = list(arrays) if arrays is not None else sorted(contractible_arrays(program))
+    body = list(program.body)
+    new_scalars: list[ScalarDecl] = []
+    dropped: set[str] = set()
+
+    for cand in candidates:
+        if cand in program.outputs:
+            if explicit:
+                raise TransformError(f"{cand} is a program output; cannot contract")
+            continue
+        from dataclasses import replace as _replace
+
+        trial = _replace(
+            program,
+            body=tuple(body),
+            scalars=tuple(program.scalars) + tuple(new_scalars),
+        )
+        lr = live_ranges(trial).get(cand)
+        positions = (set(lr.reads) | set(lr.writes)) if lr else set()
+        if len(positions) != 1:
+            if explicit:
+                raise TransformError(f"{cand} is live across top-level statements")
+            continue
+        idx = positions.pop()
+        stmt = body[idx]
+        if not isinstance(stmt, Loop):
+            if explicit:
+                raise TransformError(f"{cand} is used outside a loop")
+            continue
+        if not _subscripts_consistent(stmt, cand):
+            if explicit:
+                raise TransformError(f"{cand} uses multiple subscripts; use shrinking")
+            continue
+        scalar = f"_{cand}c"
+        try:
+            new_body = _rewrite_loop(stmt, cand, scalar)
+        except TransformError:
+            if explicit:
+                raise
+            continue
+        body[idx] = new_body
+        new_scalars.append(ScalarDecl(scalar))
+        dropped.add(cand)
+
+    if not dropped:
+        if explicit:
+            raise TransformError(f"no arrays contracted among {candidates}")
+        return program
+
+    from dataclasses import replace
+
+    return replace(
+        program,
+        name=name or f"{program.name}_contract",
+        body=tuple(body),
+        scalars=tuple(program.scalars) + tuple(new_scalars),
+        arrays=tuple(a for a in program.arrays if a.name not in dropped),
+    )
+
+
+def _rewrite_loop(loop: Loop, array: str, scalar: str) -> Loop:
+    """Rewrite the innermost block(s) of ``loop`` that access the array."""
+    def recurse(stmts: Sequence[Stmt]) -> list[Stmt]:
+        direct = any(
+            isinstance(s, (Assign, ExternalRead)) and array in access_sets(s).touched
+            for s in stmts
+        )
+        if direct:
+            return _rewrite_block(stmts, array, scalar)
+        out: list[Stmt] = []
+        for s in stmts:
+            if isinstance(s, Loop) and array in access_sets(s).touched:
+                out.append(s.with_body(recurse(s.body)))
+            elif isinstance(s, If) and array in access_sets(s).touched:
+                out.append(If(s.cond, tuple(recurse(s.then)), tuple(recurse(s.orelse))))
+            else:
+                out.append(s)
+        return out
+
+    return loop.with_body(recurse(loop.body))

@@ -1,0 +1,54 @@
+"""Loop interchange: permute the headers of a perfect nest.
+
+Used to build the paper's matrix-multiply variants (``mm(-O2)`` is the
+``jki`` order) and as a building block for tiling. Bounds must be
+rectangular (parameter-affine), so any permutation yields a well-formed
+nest; *semantic* legality (no dependence reversal) is the caller's
+responsibility and is re-checked by the pipeline's interpreter oracle —
+the classic fully-permutable cases (matmul, stencils without carried
+dependences in the permuted dims) all pass.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import TransformError
+from ..lang.program import Program
+from ..lang.stmt import Loop, Stmt, perfect_nest
+
+
+def permute_nest(
+    program: Program,
+    top_index: int,
+    order: Sequence[str],
+    name: str | None = None,
+) -> Program:
+    """Reorder the perfect nest at top-level position ``top_index`` so its
+    loop variables appear (outermost first) in ``order``."""
+    stmt = program.body[top_index]
+    if not isinstance(stmt, Loop):
+        raise TransformError(f"statement {top_index} is not a loop")
+    chain = perfect_nest(stmt)
+    by_var = {loop.var: loop for loop in chain}
+    if sorted(order) != sorted(by_var):
+        raise TransformError(
+            f"order {list(order)} does not match nest variables {sorted(by_var)}"
+        )
+    for loop in chain:
+        loose = (loop.lower.symbols | loop.upper.symbols) - set(program.params)
+        if loose:
+            raise TransformError(
+                f"loop {loop.var} has non-rectangular bounds ({sorted(loose)}); "
+                "cannot permute"
+            )
+    innermost_body = chain[-1].body
+    nest: Loop | None = None
+    for var in reversed(order):
+        template = by_var[var]
+        body: tuple[Stmt, ...] = innermost_body if nest is None else (nest,)
+        nest = Loop(var, template.lower, template.upper, body)
+    assert nest is not None
+    body = list(program.body)
+    body[top_index] = nest
+    return program.with_body(body, name=name or f"{program.name}_{''.join(order)}")

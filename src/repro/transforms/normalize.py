@@ -1,0 +1,139 @@
+"""Guard-context subscript normalization.
+
+Inside a guard branch the loop variable may be pinned to one value —
+``if j == 1 {...}``, or the else branch of ``if j <= N-2`` inside
+``for j = 1, N`` (which implies ``j == N-1``). On such a path a constant
+subscript equal to the pinned value and the variable itself are
+interchangeable; rewriting constants *to the variable form* makes
+references uniform, which is what unlocks array shrinking on programs
+like the paper's Figure 6(b):
+
+    else { b[i, N-1] = g(b[i, N-1], ...) }     # j == N-1 here
+        ->  b[i, j] = g(b[i, j], ...)
+
+The rewrite is semantics-preserving unconditionally: on every execution of
+the branch the two subscripts denote the same element.
+
+Recognized pinning facts:
+
+* ``v == c`` in a guard: the then-branch pins ``v = c``; an ``!=`` pins
+  the else-branch.
+* ``v <= K`` whose else-range collapses: with the enclosing loop
+  ``v in [lo, hi)``, the else branch covers ``[K+1, hi)``; if that is a
+  single value, ``v`` is pinned there. Symmetrically for ``>=``/``<``/``>``
+  and for collapsing then-ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.affine import Affine, And, Cmp, Condition
+from ..lang.expr import ArrayRef, Expr, replace_array
+from ..lang.program import Program
+from ..lang.stmt import Assign, ExternalRead, If, Loop, Stmt
+
+
+@dataclass(frozen=True)
+class _LoopRange:
+    lower: Affine
+    upper: Affine  # exclusive
+
+
+def _pinned_by(cond: Condition, negate: bool, ranges: dict[str, _LoopRange]) -> dict[str, Affine]:
+    """Variables pinned to a single value by taking (or refusing) ``cond``."""
+    if isinstance(cond, And):
+        # Conjunction: the then-branch accumulates every part's pin; the
+        # else-branch of a conjunction pins nothing (it is a disjunction).
+        if negate:
+            return {}
+        pinned: dict[str, Affine] = {}
+        for part in cond.parts:
+            pinned.update(_pinned_by(part, False, ranges))
+        return pinned
+    assert isinstance(cond, Cmp)
+    effective = cond.negate() if negate else cond
+
+    # Normal form: single variable with coefficient 1 on the left.
+    lhs, rhs, op = effective.lhs, effective.rhs, effective.op
+    if len(lhs.symbols) != 1 or rhs.symbols & lhs.symbols:
+        return {}
+    (var,) = lhs.symbols
+    if lhs.coeff(var) != 1:
+        return {}
+    # value bound: var op (rhs - (lhs - var))
+    bound = rhs - (lhs - Affine.var(var))
+
+    if op == "==":
+        return {var: bound}
+    rng = ranges.get(var)
+    if rng is None:
+        return {}
+    if op == "<=":
+        # var in [lo, bound]: a single value iff bound == lo.
+        return {var: bound} if bound == rng.lower else {}
+    if op == "<":
+        # var in [lo, bound-1]: single iff bound-1 == lo.
+        return {var: rng.lower} if bound - 1 == rng.lower else {}
+    if op == ">=":
+        # var in [bound, hi-1]: single iff bound == hi-1.
+        return {var: bound} if bound == rng.upper - 1 else {}
+    if op == ">":
+        # var in [bound+1, hi-1]: single iff bound+1 == hi-1.
+        return {var: bound + 1} if bound + 1 == rng.upper - 1 else {}
+    return {}
+
+
+def _rewrite_refs(expr: Expr, pinned: dict[str, Affine]) -> Expr:
+    def transform(ref: ArrayRef) -> Expr:
+        new_index = []
+        changed = False
+        for sub in ref.index:
+            replaced = sub
+            for var, value in pinned.items():
+                if sub == value and not sub.depends_on(var):
+                    replaced = Affine.var(var)
+                    changed = True
+                    break
+            new_index.append(replaced)
+        return ArrayRef(ref.array, tuple(new_index)) if changed else ref
+
+    return replace_array(expr, transform)
+
+
+def _rewrite_stmt(s: Stmt, pinned: dict[str, Affine], ranges: dict[str, _LoopRange]) -> Stmt:
+    if isinstance(s, Assign):
+        lhs = s.lhs
+        if isinstance(lhs, ArrayRef):
+            lhs = _rewrite_refs(lhs, pinned)
+        return Assign(lhs, _rewrite_refs(s.rhs, pinned))
+    if isinstance(s, ExternalRead):
+        if isinstance(s.lhs, ArrayRef):
+            return ExternalRead(_rewrite_refs(s.lhs, pinned))
+        return s
+    if isinstance(s, If):
+        then_pins = dict(pinned)
+        then_pins.update(_pinned_by(s.cond, False, ranges))
+        else_pins = dict(pinned)
+        else_pins.update(_pinned_by(s.cond, True, ranges))
+        return If(
+            s.cond,
+            tuple(_rewrite_stmt(b, then_pins, ranges) for b in s.then),
+            tuple(_rewrite_stmt(b, else_pins, ranges) for b in s.orelse),
+        )
+    if isinstance(s, Loop):
+        inner_ranges = dict(ranges)
+        inner_ranges[s.var] = _LoopRange(s.lower, s.upper)
+        # A new binding invalidates any outer pin of the same name (the IR
+        # forbids shadowing, but be safe).
+        inner_pins = {v: c for v, c in pinned.items() if v != s.var}
+        return s.with_body(tuple(_rewrite_stmt(b, inner_pins, inner_ranges) for b in s.body))
+    return s
+
+
+def normalize_guard_contexts(program: Program, name: str | None = None) -> Program:
+    """Rewrite pinned-constant subscripts to their variable form everywhere."""
+    body = tuple(_rewrite_stmt(s, {}, {}) for s in program.body)
+    if body == program.body:
+        return program
+    return program.with_body(body, name=name or program.name)

@@ -1,0 +1,243 @@
+"""Array peeling (paper §3.2, Figure 6).
+
+Some arrays cannot shrink because a *small slice* stays live across the
+whole loop — Figure 6's ``a[1..N, 1]`` is defined at the start and used at
+the very end. Peeling splits that slice into its own dedicated storage
+(``a1[N]``), after which the remainder of the array often becomes
+shrinkable.
+
+Two reference situations arise:
+
+* a reference's subscript in the peeled dimension is *exactly* the peeled
+  index (``a[i, 1]`` with the slice at 1): rewrite unconditionally;
+* the subscript involves loop variables and only *sometimes* equals the
+  peeled index (``a[i, j-1]`` hits the slice at ``j = 2``): the statement
+  is split under a guard — ``if j - 1 == 1`` use the peeled array, else the
+  original — exactly the index-set splitting visible in Figure 6(c)'s
+  ``if (j=2) b1 = f(a1[i], a2) else b1 = f(a3[i], a2)``.
+
+Peeling is storage splitting: as long as every reference that can touch
+the slice is redirected, semantics are preserved; the pipeline verifies
+with the interpreter regardless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TransformError
+from ..lang.affine import Affine, AffineLike, Cmp
+from ..lang.analysis.arrays import refs_of_array
+from ..lang.expr import ArrayRef, Expr, replace_array
+from ..lang.program import Program
+from ..lang.stmt import Assign, ExternalRead, If, Loop, Stmt
+from ..lang.types import ArrayDecl
+
+
+@dataclass(frozen=True)
+class _PeelSpec:
+    array: str
+    dim: int
+    at: Affine
+    peeled_name: str
+
+    def matches_exactly(self, ref: ArrayRef) -> bool:
+        return ref.array == self.array and ref.index[self.dim] == self.at
+
+    def may_alias(self, ref: ArrayRef, ranges: dict[str, tuple] | None = None) -> bool:
+        """True when the subscript could equal the peeled index for *some*
+        iteration. A subscript ``v + k`` with ``v in [lo, hi)`` provably
+        misses the slice when ``at < lo + k`` or ``at > hi - 1 + k`` (as far
+        as the affine arithmetic can decide with symbolic bounds); such
+        references are left untouched instead of being guard-split."""
+        if ref.array != self.array:
+            return False
+        sub = ref.index[self.dim]
+        diff = sub - self.at
+        if diff.is_constant:
+            return False  # either exact (handled) or never equal
+        if ranges:
+            loop_syms = [v for v in sub.symbols if v in ranges]
+            if len(loop_syms) == 1 and sub.coeff(loop_syms[0]) == 1:
+                (v,) = loop_syms
+                lower, upper = ranges[v]
+                offset = sub - Affine.var(v)
+                below = self.at - (lower + offset)  # negative => at < min
+                if below.is_constant and below.const < 0:
+                    return False
+                above = (upper - 1 + offset) - self.at  # negative => at > max
+                if above.is_constant and above.const < 0:
+                    return False
+        return True
+
+    def peel_ref(self, ref: ArrayRef) -> ArrayRef:
+        index = tuple(sub for d, sub in enumerate(ref.index) if d != self.dim)
+        if not index:
+            index = (Affine.const_of(0),)
+        return ArrayRef(self.peeled_name, index)
+
+
+def _rewrite_exact(expr: Expr, spec: _PeelSpec) -> Expr:
+    def transform(ref: ArrayRef) -> Expr:
+        if spec.matches_exactly(ref):
+            return spec.peel_ref(ref)
+        return ref
+
+    return replace_array(expr, transform)
+
+
+def _force_ref(expr: Expr, target: ArrayRef, replacement: ArrayRef) -> Expr:
+    """Replace one exact reference occurrence-wise (all occurrences of the
+    syntactically identical ref)."""
+    def transform(ref: ArrayRef) -> Expr:
+        return replacement if ref == target else ref
+
+    return replace_array(expr, transform)
+
+
+def _split_stmt(
+    stmt: Stmt,
+    spec: _PeelSpec,
+    skipped: frozenset[ArrayRef] = frozenset(),
+    ranges: dict[str, tuple] | None = None,
+) -> Stmt:
+    """Guard-split one leaf statement until no aliasing reference remains.
+
+    ``skipped`` carries references already decided *not* to hit the slice
+    on this guard path (else-branches), so the recursion terminates:
+    every level either resolves one reference into the peeled array or
+    adds it to ``skipped``.
+    """
+    if isinstance(stmt, Assign):
+        refs = [
+            r
+            for r in _stmt_refs(stmt)
+            if spec.may_alias(r, ranges) and r not in skipped
+        ]
+        if not refs:
+            return stmt
+        ref = refs[0]
+        cond = Cmp("==", ref.index[spec.dim], spec.at)
+        then_variant = _replace_in_assign(stmt, ref, spec.peel_ref(ref))
+        return If(
+            cond,
+            (_split_stmt(then_variant, spec, skipped, ranges),),
+            (_split_stmt(stmt, spec, skipped | {ref}, ranges),),
+        )
+    if isinstance(stmt, ExternalRead):
+        if isinstance(stmt.lhs, ArrayRef) and spec.may_alias(stmt.lhs, ranges):
+            cond = Cmp("==", stmt.lhs.index[spec.dim], spec.at)
+            return If(
+                cond,
+                (ExternalRead(spec.peel_ref(stmt.lhs)),),
+                (stmt,),
+            )
+        return stmt
+    raise TransformError(f"cannot split {type(stmt).__name__}")
+
+
+def _stmt_refs(stmt: Assign) -> list[ArrayRef]:
+    from ..lang.expr import array_refs
+
+    refs = array_refs(stmt.rhs)
+    if isinstance(stmt.lhs, ArrayRef):
+        refs.append(stmt.lhs)
+    return refs
+
+
+def _replace_in_assign(stmt: Assign, target: ArrayRef, replacement: ArrayRef) -> Assign:
+    rhs = _force_ref(stmt.rhs, target, replacement)
+    lhs = stmt.lhs
+    if isinstance(lhs, ArrayRef) and lhs == target:
+        lhs = replacement
+    return Assign(lhs, rhs)
+
+
+def _rewrite_block(
+    stmts: tuple[Stmt, ...],
+    spec: _PeelSpec,
+    ranges: dict[str, tuple] | None = None,
+) -> tuple[Stmt, ...]:
+    ranges = ranges or {}
+    out: list[Stmt] = []
+    for s in stmts:
+        if isinstance(s, Loop):
+            inner = dict(ranges)
+            inner[s.var] = (s.lower, s.upper)
+            out.append(s.with_body(_rewrite_block(s.body, spec, inner)))
+        elif isinstance(s, If):
+            out.append(
+                If(
+                    s.cond,
+                    _rewrite_block(s.then, spec, ranges),
+                    _rewrite_block(s.orelse, spec, ranges),
+                )
+            )
+        elif isinstance(s, Assign):
+            exact = Assign(
+                spec.peel_ref(s.lhs)
+                if isinstance(s.lhs, ArrayRef) and spec.matches_exactly(s.lhs)
+                else s.lhs,
+                _rewrite_exact(s.rhs, spec),
+            )
+            out.append(_split_stmt(exact, spec, frozenset(), ranges))
+        elif isinstance(s, ExternalRead):
+            if isinstance(s.lhs, ArrayRef) and spec.matches_exactly(s.lhs):
+                out.append(ExternalRead(spec.peel_ref(s.lhs)))
+            else:
+                out.append(_split_stmt(s, spec, frozenset(), ranges))
+        else:
+            out.append(s)
+    return tuple(out)
+
+
+def peel_array(
+    program: Program,
+    array: str,
+    dim: int,
+    at: AffineLike,
+    name: str | None = None,
+) -> Program:
+    """Peel the slice ``array[..., at, ...]`` (position ``dim``) into its
+    own array named ``<array>_peel<dim>``."""
+    decl = program.array(array)
+    if array in program.outputs:
+        raise TransformError(f"{array} is a program output; cannot peel")
+    if not (0 <= dim < decl.rank):
+        raise TransformError(f"{array} has no dimension {dim}")
+    at_affine = Affine.of(at)
+    loose = at_affine.symbols - set(program.params)
+    if loose:
+        raise TransformError(f"peel index must be parameter-affine; uses {sorted(loose)}")
+
+    peeled = f"{array}_peel{dim}"
+    spec = _PeelSpec(array, dim, at_affine, peeled)
+
+    reads, writes = refs_of_array(_as_block(program), array)
+    if not any(spec.matches_exactly(r) or spec.may_alias(r) for r in reads + writes):
+        raise TransformError(f"no reference of {array} can touch slice {at_affine}")
+
+    from dataclasses import replace
+
+    body = _rewrite_block(program.body, spec)
+    peel_shape = tuple(e for d, e in enumerate(decl.shape) if d != dim)
+    if not peel_shape:
+        peel_shape = (Affine.const_of(1),)
+    return replace(
+        program,
+        name=name or f"{program.name}_peel",
+        body=body,
+        arrays=program.arrays + (ArrayDecl(peeled, peel_shape, decl.dtype),),
+    )
+
+
+def _as_block(program: Program):
+    """A pseudo-statement wrapping the whole body for refs_of_array."""
+    from ..lang.stmt import Loop
+
+    class _Wrapper:
+        def walk(self):
+            for s in program.body:
+                yield from s.walk()
+
+    return _Wrapper()

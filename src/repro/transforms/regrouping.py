@@ -1,0 +1,138 @@
+"""Inter-array data regrouping (Ding & Kennedy LCPC'99; cited in §4 as the
+global *spatial*-reuse step of the dissertation's strategy).
+
+Arrays that are always accessed together at the same index — the pattern
+the Figure 3 kernels and most stencil sweeps exhibit — can be interleaved
+into one packed array:
+
+    a[i], b[i], c[i]   ->   packed[i, 0], packed[i, 1], packed[i, 2]
+
+Benefits on the simulated machines mirror the real ones:
+
+* **spatial locality** — one cache line now holds one element of *each*
+  grouped array, so a sweep touching all of them uses every byte of every
+  line it pulls;
+* **conflict immunity** — the grouped arrays can no longer collide with
+  each other in a direct-mapped cache, because they share lines instead
+  of competing for them. Experiment E16 shows regrouping is an alternative
+  fix for the Figure 3 ``3w6r`` anomaly.
+
+Legality: every grouped array must have the same shape and dtype and be
+referenced element-wise (arbitrary but *identical-rank* affine subscripts
+are fine — each reference maps independently). Program outputs cannot be
+grouped (the packed layout would change the observable arrays).
+
+Initial values: the packed declaration carries ``init_names`` so the
+reference interpreter gives slot ``j`` exactly the initial contents of the
+j-th source array — making the rewrite verifiable by the standard oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from ..errors import TransformError
+from ..lang.affine import Affine
+from ..lang.expr import ArrayRef, Expr, replace_array
+from ..lang.program import Program
+from ..lang.stmt import Assign, ExternalRead, If, Loop, Stmt
+from ..lang.types import ArrayDecl
+
+
+def _rewrite_stmt(s: Stmt, slot_of: dict[str, int], packed: str) -> Stmt:
+    def transform(ref: ArrayRef) -> Expr:
+        if ref.array not in slot_of:
+            return ref
+        return ArrayRef(packed, ref.index + (Affine.const_of(slot_of[ref.array]),))
+
+    if isinstance(s, Assign):
+        lhs = s.lhs
+        if isinstance(lhs, ArrayRef) and lhs.array in slot_of:
+            lhs = ArrayRef(packed, lhs.index + (Affine.const_of(slot_of[lhs.array]),))
+        return Assign(lhs, replace_array(s.rhs, transform))
+    if isinstance(s, ExternalRead):
+        if isinstance(s.lhs, ArrayRef) and s.lhs.array in slot_of:
+            return ExternalRead(
+                ArrayRef(packed, s.lhs.index + (Affine.const_of(slot_of[s.lhs.array]),))
+            )
+        return s
+    if isinstance(s, If):
+        return If(
+            s.cond,
+            tuple(_rewrite_stmt(b, slot_of, packed) for b in s.then),
+            tuple(_rewrite_stmt(b, slot_of, packed) for b in s.orelse),
+        )
+    if isinstance(s, Loop):
+        return s.with_body(tuple(_rewrite_stmt(b, slot_of, packed) for b in s.body))
+    return s
+
+
+def regroup_arrays(
+    program: Program,
+    group: Sequence[str],
+    packed_name: str | None = None,
+    name: str | None = None,
+) -> Program:
+    """Interleave the arrays of ``group`` into one packed array.
+
+    The packed array has the common shape plus a trailing slot dimension;
+    declaration order of the group determines slot order (and therefore
+    in-line interleaving order).
+    """
+    if len(group) < 2:
+        raise TransformError("regrouping needs at least two arrays")
+    if len(set(group)) != len(group):
+        raise TransformError("duplicate array in group")
+    decls = [program.array(g) for g in group]
+    base = decls[0]
+    for d in decls[1:]:
+        if d.shape != base.shape:
+            raise TransformError(
+                f"cannot regroup {d.name} with {base.name}: shapes differ "
+                f"({d.shape} vs {base.shape})"
+            )
+        if d.dtype is not base.dtype:
+            raise TransformError(f"cannot regroup {d.name}: dtype differs")
+    for g in group:
+        if g in program.outputs:
+            raise TransformError(f"{g} is a program output; cannot regroup")
+
+    packed = packed_name or ("_".join(group) + "_pk")
+    if program.has_array(packed):
+        raise TransformError(f"array {packed!r} already exists")
+    slot_of = {g: j for j, g in enumerate(group)}
+
+    body = tuple(_rewrite_stmt(s, slot_of, packed) for s in program.body)
+    packed_decl = ArrayDecl(
+        packed,
+        base.shape + (Affine.const_of(len(group)),),
+        base.dtype,
+        init_names=tuple(group),
+    )
+    kept = tuple(a for a in program.arrays if a.name not in slot_of)
+    return replace(
+        program,
+        name=name or f"{program.name}_regroup",
+        body=body,
+        arrays=kept + (packed_decl,),
+    )
+
+
+def regroupable_sets(program: Program) -> list[tuple[str, ...]]:
+    """Candidate groups: non-output arrays of identical shape and dtype
+    that are accessed in the same top-level statements (the 'accessed
+    together' heuristic of the original regrouping paper)."""
+    from ..lang.analysis.arrays import access_sets
+
+    signature: dict[tuple, list[str]] = {}
+    touched_at: dict[str, frozenset[int]] = {}
+    for idx, stmt in enumerate(program.body):
+        for arr in access_sets(stmt).touched:
+            touched_at[arr] = touched_at.get(arr, frozenset()) | {idx}
+    for decl in program.arrays:
+        if decl.name in program.outputs or decl.name not in touched_at:
+            continue
+        key = (decl.shape, decl.dtype, touched_at[decl.name])
+        signature.setdefault(key, []).append(decl.name)
+    return [tuple(v) for v in signature.values() if len(v) >= 2]

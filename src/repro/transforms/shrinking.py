@@ -1,0 +1,289 @@
+"""Array shrinking (paper §3.2, Figure 6).
+
+After fusion, if every use of an array element happens within one iteration
+of an outer loop of its producing iteration, the array's "time" dimension
+can be dropped: the current value lives in a scalar, and values carried to
+the next outer iteration live in a small buffer over the remaining
+dimensions. Figure 6's ``a[N, N]`` becomes the scalar ``a2`` plus the row
+buffer ``a3[N]`` exactly this way:
+
+    read(a[i,j])                     read(a2)
+    ... f(a[i,j-1], a[i,j]) ...  ->  ... f(a3[i], a2) ...
+                                     a3[i] = a2            (copy, end of body)
+
+Supported shape (the paper's): all references to the array live in one
+straight-line innermost block; one write per iteration; one subscript
+position (the *time dimension*) is ``outer_var + k`` with read offsets at
+distance 0 or 1 behind the write; every other subscript position is
+identical across all references. Reads at distance 0 must follow the
+write. Reads at distance 1 may sit anywhere — they read the buffer, which
+is only updated by the copy appended at the end of the block.
+
+Shrinking is *optimistic* about upward-exposed first-iteration reads (a
+distance-1 read in the first outer iteration would see buffer contents
+instead of original array contents); the transformation pipeline always
+verifies the result against the reference interpreter, and programs whose
+guards exclude that case (like Figure 6 after peeling) pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import TransformError
+from ..lang.affine import Affine
+from ..lang.analysis.arrays import access_sets, refs_of_array
+from ..lang.analysis.liveness import live_ranges
+from ..lang.expr import ArrayRef, Expr, ScalarRef, replace_array
+from ..lang.program import Program
+from ..lang.stmt import Assign, ExternalRead, If, Loop, Stmt
+from ..lang.types import ArrayDecl, ScalarDecl
+
+
+@dataclass(frozen=True)
+class _ShrinkPlan:
+    array: str
+    time_dim: int
+    write_index: tuple[Affine, ...]
+    needs_buffer: bool
+    cur_scalar: str
+    buffer_name: str
+
+
+def _time_offset(sub: Affine, write_sub: Affine) -> int | None:
+    """Offset of a read subscript behind the write subscript in the time
+    dimension: ``write - read`` when the difference is constant."""
+    diff = write_sub - sub
+    if not diff.is_constant:
+        return None
+    return diff.const
+
+
+def _analyze(loop: Loop, array: str) -> tuple[int, ArrayRef, bool]:
+    """Determine the time dimension and whether carried values exist.
+
+    Returns (time_dim, write_ref, needs_buffer); raises TransformError when
+    the access pattern is outside the supported shape.
+    """
+    reads, writes = refs_of_array(loop, array)
+    if not writes:
+        raise TransformError(f"{array}: never written inside the loop")
+    write = writes[0]
+    # Multiple writes are fine when they hit the same element per iteration
+    # (e.g. Figure 6's boundary fix re-updating b[i, j] under a guard):
+    # they all become updates of the current-value scalar.
+    for extra in writes[1:]:
+        if extra.index != write.index:
+            raise TransformError(
+                f"{array}: writes use different subscripts ({extra} vs {write})"
+            )
+    if not reads:
+        # Write-only array that is dead afterwards: the caller should use
+        # store elimination instead.
+        raise TransformError(f"{array}: no reads inside the loop; use store elimination")
+    # Find dims where some read differs from the write.
+    diff_dims = set()
+    for r in reads:
+        if r.rank != write.rank:
+            raise TransformError(f"{array}: rank-inconsistent references")
+        for d in range(write.rank):
+            if r.index[d] != write.index[d]:
+                diff_dims.add(d)
+    if len(diff_dims) > 1:
+        raise TransformError(f"{array}: references differ in {len(diff_dims)} dimensions")
+    needs_buffer = False
+    time_dim = next(iter(diff_dims)) if diff_dims else write.rank - 1
+    for r in reads:
+        off = _time_offset(r.index[time_dim], write.index[time_dim])
+        if off is None or off not in (0, 1):
+            raise TransformError(
+                f"{array}: read {r} is {off} iterations behind the write; "
+                "only distances 0 and 1 are supported"
+            )
+        if off == 1:
+            needs_buffer = True
+    return time_dim, write, needs_buffer
+
+
+class _BlockRewriter:
+    """Rewrites the single block containing all references."""
+
+    def __init__(self, plan: _ShrinkPlan):
+        self.plan = plan
+        self.seen_write = False
+        self.guarded = False
+
+    def rewrite(self, stmts: Sequence[Stmt]) -> list[Stmt]:
+        out: list[Stmt] = []
+        for s in stmts:
+            out.append(self._rewrite_stmt(s))
+        if self.plan.needs_buffer:
+            if not self.seen_write:
+                raise TransformError(f"{self.plan.array}: write not found in block")
+            buf_index = tuple(
+                sub for d, sub in enumerate(self.plan.write_index) if d != self.plan.time_dim
+            ) or (Affine.const_of(0),)
+            out.append(
+                Assign(ArrayRef(self.plan.buffer_name, buf_index), ScalarRef(self.plan.cur_scalar))
+            )
+        return out
+
+    def _rewrite_stmt(self, s: Stmt) -> Stmt:
+        plan = self.plan
+        if isinstance(s, Assign):
+            rhs = self._rewrite_expr(s.rhs)
+            if isinstance(s.lhs, ArrayRef) and s.lhs.array == plan.array:
+                if self.seen_write and not self.guarded:
+                    # A plain re-write updates the current scalar.
+                    pass
+                self.seen_write = True
+                return Assign(ScalarRef(plan.cur_scalar), rhs)
+            return Assign(s.lhs, rhs)
+        if isinstance(s, ExternalRead):
+            if isinstance(s.lhs, ArrayRef) and s.lhs.array == plan.array:
+                self.seen_write = True
+                return ExternalRead(ScalarRef(plan.cur_scalar))
+            return s
+        if isinstance(s, If):
+            def branch_writes(branch: tuple) -> bool:
+                return any(plan.array in access_sets(b).writes for b in branch)
+
+            then_w = branch_writes(s.then)
+            else_w = branch_writes(s.orelse)
+            pre = self.seen_write
+            if not pre and (then_w or else_w) and not (then_w and else_w):
+                # A one-sided first write leaves the scalar undefined on
+                # the other path; only all-path definitions (or re-updates
+                # after an unconditional write) may sit under guards.
+                raise TransformError(
+                    f"{plan.array}: first write under a guard is not supported"
+                )
+            was_guarded = self.guarded
+            self.guarded = True
+            try:
+                self.seen_write = pre
+                then_out = tuple(self._rewrite_stmt(b) for b in s.then)
+                after_then = self.seen_write
+                self.seen_write = pre
+                else_out = tuple(self._rewrite_stmt(b) for b in s.orelse)
+                after_else = self.seen_write
+            finally:
+                self.guarded = was_guarded
+            self.seen_write = pre or (after_then and after_else)
+            return If(s.cond, then_out, else_out)
+        if isinstance(s, Loop):
+            if plan.array in access_sets(s).touched:
+                raise TransformError(
+                    f"{plan.array}: accessed in a nested loop inside the block"
+                )
+            return s
+        return s
+
+    def _rewrite_expr(self, expr: Expr) -> Expr:
+        plan = self.plan
+
+        def transform(ref: ArrayRef) -> Expr:
+            if ref.array != plan.array:
+                return ref
+            off = _time_offset(
+                ref.index[plan.time_dim], plan.write_index[plan.time_dim]
+            )
+            if off == 0:
+                if not self.seen_write:
+                    raise TransformError(
+                        f"{plan.array}: same-iteration read before the write"
+                    )
+                return ScalarRef(plan.cur_scalar)
+            assert off == 1
+            buf_index = tuple(
+                sub for d, sub in enumerate(ref.index) if d != plan.time_dim
+            )
+            # Non-time subscripts must match the write's so the buffer slot
+            # correspondence holds.
+            want = tuple(
+                sub for d, sub in enumerate(plan.write_index) if d != plan.time_dim
+            )
+            if not buf_index and not want:
+                return ArrayRef(plan.buffer_name, (Affine.const_of(0),))
+            if buf_index != want:
+                raise TransformError(
+                    f"{plan.array}: carried read {ref} differs from the write in a "
+                    "non-time dimension"
+                )
+            return ArrayRef(plan.buffer_name, buf_index)
+
+        return replace_array(expr, transform)
+
+
+def shrink_array(program: Program, array: str, name: str | None = None) -> Program:
+    """Shrink one array to a scalar (plus a carry buffer when needed)."""
+    if array in program.outputs:
+        raise TransformError(f"{array} is a program output; cannot shrink")
+    lr = live_ranges(program).get(array)
+    if lr is None:
+        raise TransformError(f"no array named {array!r}")
+    positions = set(lr.reads) | set(lr.writes)
+    if len(positions) != 1:
+        raise TransformError(f"{array} is live across top-level statements")
+    idx = positions.pop()
+    stmt = program.body[idx]
+    if not isinstance(stmt, Loop):
+        raise TransformError(f"{array} is used outside a loop")
+
+    time_dim, write, needs_buffer = _analyze(stmt, array)
+    cur = f"_{array}cur"
+    buf = f"_{array}buf"
+    plan = _ShrinkPlan(array, time_dim, write.index, needs_buffer, cur, buf)
+
+    # Locate the single block holding the references and rewrite it.
+    def recurse(stmts: Sequence[Stmt]) -> list[Stmt]:
+        direct = any(
+            isinstance(s, (Assign, ExternalRead, If)) and array in access_sets(s).touched
+            for s in stmts
+        )
+        if direct:
+            return _BlockRewriter(plan).rewrite(stmts)
+        out: list[Stmt] = []
+        for s in stmts:
+            if isinstance(s, Loop) and array in access_sets(s).touched:
+                out.append(s.with_body(recurse(s.body)))
+            else:
+                out.append(s)
+        return out
+
+    body = list(program.body)
+    body[idx] = stmt.with_body(recurse(stmt.body))
+
+    from dataclasses import replace
+
+    decl = program.array(array)
+    new_arrays = [a for a in program.arrays if a.name != array]
+    if needs_buffer:
+        buf_shape = tuple(e for d, e in enumerate(decl.shape) if d != time_dim)
+        if not buf_shape:
+            buf_shape = (Affine.const_of(1),)
+        new_arrays.append(ArrayDecl(buf, buf_shape, decl.dtype))
+    return replace(
+        program,
+        name=name or f"{program.name}_shrink",
+        body=tuple(body),
+        scalars=tuple(program.scalars) + (ScalarDecl(cur),),
+        arrays=tuple(new_arrays),
+    )
+
+
+def shrinkable_arrays(program: Program) -> frozenset[str]:
+    """Arrays for which :func:`shrink_array` does not statically reject.
+
+    Membership does not guarantee semantic safety (first-iteration carried
+    reads); the pipeline verifies each application with the interpreter.
+    """
+    out: set[str] = set()
+    for decl in program.arrays:
+        try:
+            shrink_array(program, decl.name)
+        except TransformError:
+            continue
+        out.add(decl.name)
+    return frozenset(out)

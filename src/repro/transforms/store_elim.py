@@ -1,0 +1,236 @@
+"""Store elimination (paper §3.3, Figures 7 & 8).
+
+After fusion, an array whose values are fully consumed inside the loop that
+produces them — and that is dead afterwards — no longer needs its values
+written back to memory. The transformation rewrites
+
+    res[i] = res[i] + data[i]        t = res[i] + data[i]
+    sum = sum + res[i]         into  sum = sum + t
+
+removing the store entirely. Reads of the array's *old* (pre-loop) values
+remain as memory reads — store elimination changes only writeback traffic,
+never read behaviour, which is precisely why it helps only when bandwidth
+(not latency) is the bottleneck.
+
+Legality (per candidate array X, per top-level loop L):
+
+* X is not a program output and no later top-level statement reads X;
+* inside L, X is written by exactly one assignment per block position, and
+  every read of X that follows a write (in the same straight-line block)
+  uses a subscript the pending write covers exactly;
+* no read of X in a *different* block follows the write (a read in a
+  nested/sibling scope would need the memory value we no longer store).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import TransformError
+from ..lang.analysis.liveness import dead_after
+from ..lang.expr import ArrayRef, Expr, ScalarRef, replace_array
+from ..lang.program import Program
+from ..lang.stmt import Assign, ExternalRead, If, Loop, Stmt
+from ..lang.types import ScalarDecl
+
+
+@dataclass
+class _Rewriter:
+    """Rewrites one candidate array inside one loop body."""
+
+    array: str
+    fresh_base: str
+    counter: int = 0
+    new_scalars: list[str] | None = None
+    eliminated: int = 0
+
+    def __post_init__(self) -> None:
+        self.new_scalars = []
+
+    def fresh(self) -> str:
+        name = f"{self.fresh_base}{self.counter}"
+        self.counter += 1
+        self.new_scalars.append(name)
+        return name
+
+    def rewrite_block(
+        self, stmts: Sequence[Stmt], scope_vars: tuple[str, ...] = ()
+    ) -> list[Stmt]:
+        """Rewrite one straight-line block; pending maps subscripts of
+        eliminated stores to their replacement scalars. ``scope_vars`` are
+        the loop variables enclosing this block."""
+        pending: dict[tuple, str] = {}
+        poisoned = False
+        out: list[Stmt] = []
+        for s in stmts:
+            if poisoned and self._reads_array(s):
+                raise TransformError(
+                    f"read of {self.array} follows a store eliminated in a "
+                    "nested scope; cannot eliminate"
+                )
+            s = self._substitute_reads(s, pending)
+            if (
+                isinstance(s, Assign)
+                and isinstance(s.lhs, ArrayRef)
+                and s.lhs.array == self.array
+            ):
+                # The element-written-once argument (a read before the write
+                # sees the array's ORIGINAL memory value) requires the
+                # subscript to involve every enclosing loop variable; a
+                # subscript missing one (e.g. buf[i] inside a j-loop) is
+                # overwritten across iterations and its loop-carried reads
+                # would lose their values with the store gone.
+                for var in scope_vars:
+                    if not any(sub.depends_on(var) for sub in s.lhs.index):
+                        raise TransformError(
+                            f"store {s.lhs} does not index loop variable "
+                            f"{var!r}; values are loop-carried and cannot "
+                            "be eliminated"
+                        )
+                tmp = self.fresh()
+                pending[s.lhs.index] = tmp
+                out.append(Assign(ScalarRef(tmp), s.rhs))
+                self.eliminated += 1
+            elif isinstance(s, Loop):
+                if pending and self._reads_array(s):
+                    raise TransformError(
+                        f"store to {self.array} is read in a nested scope; "
+                        "cannot eliminate"
+                    )
+                before = self.eliminated
+                inner = self.rewrite_block(s.body, scope_vars + (s.var,))
+                out.append(s.with_body(inner))
+                if self.eliminated > before:
+                    # Values produced inside the nested loop now live only in
+                    # its per-iteration scalars; later reads here are stale.
+                    poisoned = True
+            elif isinstance(s, If):
+                if pending and self._reads_array(s):
+                    raise TransformError(
+                        f"store to {self.array} is read under a guard after the "
+                        "write; cannot eliminate"
+                    )
+                before = self.eliminated
+                out.append(
+                    If(
+                        s.cond,
+                        tuple(self.rewrite_block(s.then, scope_vars)),
+                        tuple(self.rewrite_block(s.orelse, scope_vars)),
+                    )
+                )
+                if self.eliminated > before:
+                    poisoned = True
+            else:
+                out.append(s)
+        return out
+
+    def _reads_array(self, s: Stmt) -> bool:
+        from ..lang.analysis.arrays import access_sets
+
+        return self.array in access_sets(s).reads
+
+    def _substitute_reads(self, s: Stmt, pending: dict[tuple, str]) -> Stmt:
+        if not pending or not isinstance(s, Assign):
+            self._check_uncovered(s, pending)
+            return s
+
+        array = self.array
+
+        def transform(ref: ArrayRef) -> Expr:
+            if ref.array != array:
+                return ref
+            if ref.index in pending:
+                return ScalarRef(pending[ref.index])
+            raise TransformError(
+                f"read {ref} follows an eliminated store with a different "
+                "subscript; cannot eliminate"
+            )
+
+        return Assign(s.lhs if not isinstance(s.lhs, ArrayRef) else s.lhs, replace_array(s.rhs, transform))
+
+    def _check_uncovered(self, s: Stmt, pending: dict[tuple, str]) -> None:
+        # Before any store has been seen (pending empty), reads of the old
+        # values are legal memory reads; nothing to do.
+        return None
+
+
+def eliminate_stores(
+    program: Program,
+    arrays: Sequence[str] | None = None,
+    name: str | None = None,
+) -> Program:
+    """Eliminate writebacks to every eligible array (or to ``arrays``).
+
+    Returns the rewritten program; raises :class:`TransformError` when an
+    explicitly requested array is not eligible. Arrays discovered
+    automatically are skipped silently when ineligible.
+    """
+    explicit = arrays is not None
+    candidates = list(arrays) if arrays is not None else [a.name for a in program.arrays]
+    body = list(program.body)
+    new_scalars: list[ScalarDecl] = []
+    changed = False
+
+    for cand in candidates:
+        if cand in program.outputs:
+            if explicit:
+                raise TransformError(f"{cand} is a program output; stores are live")
+            continue
+        for idx, stmt in enumerate(body):
+            if not isinstance(stmt, Loop):
+                continue
+            from ..lang.analysis.arrays import access_sets
+
+            sets = access_sets(stmt)
+            if cand not in sets.writes:
+                continue
+            if any(
+                isinstance(w, ExternalRead)
+                and isinstance(w.lhs, ArrayRef)
+                and w.lhs.array == cand
+                for w in stmt.walk()
+            ):
+                # read() stores deposit external input; they cannot move to a
+                # scalar in this IR, so arrays filled by read() keep stores.
+                if explicit:
+                    raise TransformError(f"{cand} is written by read(); cannot eliminate")
+                continue
+            # Liveness over the *current* body (with scalars added so far).
+            from dataclasses import replace as _replace
+
+            trial = _replace(
+                program,
+                body=tuple(body),
+                scalars=tuple(program.scalars) + tuple(new_scalars),
+            )
+            if not dead_after(trial, cand, idx):
+                if explicit:
+                    raise TransformError(f"{cand} is read after statement {idx}; stores are live")
+                continue
+            rewriter = _Rewriter(cand, f"_{cand}_{idx}v")
+            try:
+                new_body_stmts = rewriter.rewrite_block(stmt.body, (stmt.var,))
+            except TransformError:
+                if explicit:
+                    raise
+                continue
+            if rewriter.eliminated == 0:
+                continue
+            body[idx] = stmt.with_body(new_body_stmts)
+            new_scalars.extend(ScalarDecl(n) for n in rewriter.new_scalars)
+            changed = True
+
+    if not changed:
+        if explicit:
+            raise TransformError(f"no stores eliminated for {candidates}")
+        return program
+
+    from dataclasses import replace
+
+    return replace(
+        program,
+        name=name or f"{program.name}_se",
+        body=tuple(body),
+        scalars=tuple(program.scalars) + tuple(new_scalars),
+    )

@@ -1,0 +1,98 @@
+"""Loop tiling (blocking) — Carr & Kennedy's computation blocking.
+
+The paper attributes mm(-O3)'s tiny memory balance (0.04 B/flop vs 5.9 at
+-O2) to "advanced computation blocking, first developed by Carr and
+Kennedy"; this transformation reproduces it: selected loops of a perfect
+nest are strip-mined into a tile loop and an element loop, and the tile
+loops are hoisted outermost (in a caller-chosen order), so each tile's
+working set fits in cache and is reused across the whole tile.
+
+Restrictions: rectangular parameter-affine bounds and tile sizes dividing
+the trip counts (keeps inner bounds affine — this IR has no ``min``).
+Semantic legality of the implied permutation is the caller's concern,
+re-checked by the pipeline's interpreter oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import TransformError
+from ..lang.affine import Affine
+from ..lang.program import Program
+from ..lang.stmt import Loop, Stmt, perfect_nest
+
+
+def tile_nest(
+    program: Program,
+    top_index: int,
+    tiles: Mapping[str, int],
+    order: Sequence[str] | None = None,
+    name: str | None = None,
+) -> Program:
+    """Tile the perfect nest at ``top_index``.
+
+    Args:
+        tiles: loop variable -> tile size. Each tiled variable ``v``
+            becomes a tile loop ``v_t`` over ``[0, trip/size)`` plus an
+            element loop ``v`` over ``[lo + size*v_t, lo + size*v_t + size)``.
+        order: final nesting order, outermost first, naming tile loops as
+            ``<var>_t``; defaults to all tile loops (in ``tiles`` order)
+            followed by the element loops in their original order.
+    """
+    stmt = program.body[top_index]
+    if not isinstance(stmt, Loop):
+        raise TransformError(f"statement {top_index} is not a loop")
+    chain = perfect_nest(stmt)
+    by_var = {loop.var: loop for loop in chain}
+    params = program.bind_params(None)
+    for var in tiles:
+        if var not in by_var:
+            raise TransformError(f"no loop variable {var!r} in the nest")
+
+    headers: dict[str, Loop] = {}
+    for var, loop in by_var.items():
+        loose = (loop.lower.symbols | loop.upper.symbols) - set(program.params)
+        if loose:
+            raise TransformError(f"loop {var} has non-rectangular bounds; cannot tile")
+    for var, size in tiles.items():
+        loop = by_var[var]
+        trip = loop.trip_count(params)
+        if size <= 0 or trip % size:
+            raise TransformError(
+                f"tile size {size} does not divide trip count {trip} of loop {var} "
+                "(choose a divisor; this IR has no min() bounds)"
+            )
+        tvar = f"{var}_t"
+        if tvar in by_var:
+            raise TransformError(f"variable {tvar} already used")
+        headers[tvar] = Loop(
+            tvar, Affine.const_of(0), Affine.const_of(trip // size), loop.body
+        )
+        base = loop.lower + Affine.var(tvar) * size
+        headers[var] = Loop(var, base, base + size, loop.body)
+    for var, loop in by_var.items():
+        if var not in tiles:
+            headers[var] = loop
+
+    if order is None:
+        order = [f"{v}_t" for v in tiles] + [loop.var for loop in chain]
+    expected = sorted([f"{v}_t" for v in tiles] + [loop.var for loop in chain])
+    if sorted(order) != expected:
+        raise TransformError(f"order {list(order)} must be a permutation of {expected}")
+    # Element loops must stay inside their tile loops.
+    for var in tiles:
+        if list(order).index(f"{var}_t") > list(order).index(var):
+            raise TransformError(f"tile loop {var}_t must enclose element loop {var}")
+
+    innermost_body: tuple[Stmt, ...] = chain[-1].body
+    nest: Loop | None = None
+    for var in reversed(list(order)):
+        template = headers[var]
+        body: tuple[Stmt, ...] = innermost_body if nest is None else (nest,)
+        nest = Loop(var, template.lower, template.upper, body)
+    assert nest is not None
+    body_list = list(program.body)
+    body_list[top_index] = nest
+    suffix = "x".join(str(s) for s in tiles.values())
+    return program.with_body(body_list, name=name or f"{program.name}_tile{suffix}")

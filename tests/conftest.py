@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import ProgramBuilder  # noqa: F401
+from repro.machine import CacheGeometry, CacheLevelSpec, LayoutPolicy, MachineSpec
+
+
+@pytest.fixture
+def tiny_machine() -> MachineSpec:
+    """A two-level machine small enough that tiny arrays spill: L1 128 B
+    (2-way, 32 B lines), L2 1 KiB (2-way, 64 B lines)."""
+    return MachineSpec(
+        name="Tiny",
+        peak_flops=100e6,
+        register_bandwidth=400e6,
+        cache_levels=(
+            CacheLevelSpec("L1", CacheGeometry(128, 32, 2), 400e6, 10e-9),
+            CacheLevelSpec("L2", CacheGeometry(1024, 64, 2), 100e6, 100e-9),
+        ),
+        default_layout=LayoutPolicy(alignment=32, pad_bytes=0),
+    )
+
+
+@pytest.fixture
+def one_level_machine() -> MachineSpec:
+    """Single direct-mapped cache (Exemplar-like), 640 B (divisible by 5)."""
+    return MachineSpec(
+        name="TinyDM",
+        peak_flops=100e6,
+        register_bandwidth=400e6,
+        cache_levels=(
+            CacheLevelSpec("L1", CacheGeometry(640, 32, 1), 100e6, 100e-9),
+        ),
+        default_layout=LayoutPolicy(alignment=32, pad_bytes=0),
+    )
+
+

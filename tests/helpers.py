@@ -1,0 +1,38 @@
+"""Shared program factories for the test suite."""
+
+from __future__ import annotations
+
+from repro.lang import ProgramBuilder
+
+
+def simple_stream_program(name: str = "stream", n: int = 64):
+    """``a[i] = a[i] + b[i]`` — the workhorse fixture program."""
+    b = ProgramBuilder(name, params={"N": n})
+    a = b.array("a", "N", output=True)
+    bb = b.array("b", "N")
+    with b.loop("i", 0, "N") as i:
+        b.assign(a[i], a[i] + bb[i])
+    return b.build()
+
+
+def reduction_program(name: str = "reduce", n: int = 64):
+    """``sum += a[i]``."""
+    b = ProgramBuilder(name, params={"N": n})
+    a = b.array("a", "N")
+    s = b.scalar("sum", output=True)
+    with b.loop("i", 0, "N") as i:
+        b.assign(s, s + a[i])
+    return b.build()
+
+
+def two_loop_chain(name: str = "chain", n: int = 64):
+    """Producer loop then consumer reduction — fusable pair."""
+    b = ProgramBuilder(name, params={"N": n})
+    src = b.array("src", "N")
+    tmp = b.array("tmp", "N")
+    s = b.scalar("sum", output=True)
+    with b.loop("i", 0, "N") as i:
+        b.assign(tmp[i], src[i] * 2.0)
+    with b.loop("i", 0, "N") as i:
+        b.assign(s, s + tmp[i])
+    return b.build()

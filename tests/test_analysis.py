@@ -1,0 +1,322 @@
+"""Tests for the static analyses: access sets, dependences, distances,
+liveness, legality and static counts."""
+
+import pytest
+
+from repro.lang import ProgramBuilder
+from repro.lang.analysis import (
+    access_sets,
+    arrays_touched,
+    build_dependence_graph,
+    dead_after,
+    fused_distance,
+    fusion_constraints,
+    fusion_preventing_pairs,
+    headers_conformable,
+    live_ranges,
+    local_arrays,
+    offset_profile,
+    refs_of_array,
+    scalar_access_sets,
+    static_counts,
+    unused_arrays,
+)
+from repro.lang.analysis.distance import loop_nest_vars
+
+from tests.helpers import reduction_program, simple_stream_program, two_loop_chain
+
+
+class TestAccessSets:
+    def test_stream(self):
+        p = simple_stream_program()
+        sets = access_sets(p.body[0])
+        assert sets.reads == {"a", "b"}
+        assert sets.writes == {"a"}
+        assert sets.touched == {"a", "b"}
+
+    def test_reduction_scalars(self):
+        p = reduction_program()
+        s = scalar_access_sets(p.body[0])
+        assert s.reads == {"sum"}
+        assert s.writes == {"sum"}
+
+    def test_external_read_is_write(self):
+        b = ProgramBuilder("p", params={"N": 4})
+        a = b.array("a", "N", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.read(a[i])
+        p = b.build()
+        sets = access_sets(p.body[0])
+        assert sets.writes == {"a"}
+        assert sets.reads == frozenset()
+
+    def test_guard_branches_counted(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        a = b.array("a", "N", output=True)
+        c = b.array("c", "N")
+        with b.loop("i", 0, "N") as i:
+            with b.if_(i < 4):
+                b.assign(a[i], c[i])
+            with b.else_():
+                b.assign(a[i], 0.0)
+        sets = access_sets(b.build().body[0])
+        assert sets.reads == {"c"}
+        assert sets.writes == {"a"}
+
+    def test_refs_of_array(self):
+        p = simple_stream_program()
+        reads, writes = refs_of_array(p.body[0], "a")
+        assert len(reads) == 1 and len(writes) == 1
+
+    def test_arrays_touched_matches_paper_counting(self):
+        from repro.programs import fig4_program
+
+        p = fig4_program(8)
+        counts = [len(arrays_touched(s)) for s in p.body]
+        assert counts == [4, 4, 4, 5, 1, 2]  # paper: total 20 without fusion
+        assert sum(counts) == 20
+
+
+class TestDependences:
+    def test_flow_dep(self):
+        p = two_loop_chain()
+        g = build_dependence_graph(p)
+        kinds = {(e.src, e.dst, e.kind) for e in g}
+        assert (0, 1, "flow") in kinds
+
+    def test_anti_and_output(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        a = b.array("a", "N", output=True)
+        c = b.array("c", "N", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.assign(c[i], a[i])  # reads a
+        with b.loop("i", 0, "N") as i:
+            b.assign(a[i], 1.0)  # writes a -> anti
+        with b.loop("i", 0, "N") as i:
+            b.assign(a[i], 2.0)  # writes a again -> output
+        g = build_dependence_graph(b.build())
+        kinds = {(e.src, e.dst, e.kind) for e in g if not e.scalar}
+        assert (0, 1, "anti") in kinds
+        assert (1, 2, "output") in kinds
+
+    def test_scalar_dep_marked(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        a = b.array("a", "N")
+        c = b.array("c", "N")
+        s = b.scalar("s", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.assign(s, s + a[i])
+        with b.loop("i", 0, "N") as i:
+            b.assign(s, s + c[i])
+        g = build_dependence_graph(b.build())
+        assert any(e.scalar and e.kind == "flow" for e in g)
+
+    def test_adjacency_helpers(self):
+        p = two_loop_chain()
+        g = build_dependence_graph(p)
+        assert g.successors(0) == {1}
+        assert g.predecessors(1) == {0}
+        assert (0, 1) in g.pairs()
+
+    def test_transitive_pairs(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        x = b.array("x", "N")
+        y = b.array("y", "N")
+        z = b.array("z", "N", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.assign(y[i], x[i])
+        with b.loop("i", 0, "N") as i:
+            b.assign(z[i], y[i])
+        with b.loop("i", 0, "N") as i:
+            b.assign(z[i], z[i] * 2.0)
+        g = build_dependence_graph(b.build())
+        assert (0, 2) in g.transitive_pairs()
+
+
+class TestDistance:
+    def make_loop(self, write_off, read_off):
+        b = ProgramBuilder("p", params={"N": 16})
+        a = b.array("a", "N", output=True)
+        c = b.array("c", "N", output=True)
+        with b.loop("i", 1, b.sym("N") - 1) as i:
+            b.assign(a[i + write_off], c[i] + 1.0)
+            b.assign(c[i], a[i + read_off] * 0.5)
+        return b.build().body[0]
+
+    def test_offset_profile(self):
+        loop = self.make_loop(0, -1)
+        prof = offset_profile(loop, "a", "i", 0, frozenset({"i"}))
+        assert prof.uniform
+        assert prof.write_offsets == (0,)
+        assert prof.read_offsets == (-1,)
+        assert prof.max_flow_distance() == 1
+
+    def test_nonuniform_coefficient(self):
+        b = ProgramBuilder("p", params={"N": 16})
+        a = b.array("a", (2, "N"), output=True)
+        with b.loop("i", 0, 8) as i:
+            b.assign(a[0, i * 2], 1.0)
+        prof = offset_profile(b.build().body[0], "a", "i", 1, frozenset({"i"}))
+        assert not prof.uniform
+
+    def test_fused_distance_flow(self):
+        b = ProgramBuilder("p", params={"N": 16})
+        a = b.array("a", "N")
+        c = b.array("c", "N", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.assign(a[i], 1.0)
+        with b.loop("j", 1, "N") as j:
+            b.assign(c[j], a[j - 1])
+        p = b.build()
+        # write a[i], read a[j-1]: kw=0, kr=-1 -> distance +1 (legal)
+        d = fused_distance(p.body[0], p.body[1], "a", "i", "j")
+        assert d == 1
+
+    def test_fused_distance_negative(self):
+        b = ProgramBuilder("p", params={"N": 16})
+        a = b.array("a", "N")
+        c = b.array("c", "N", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.assign(a[i], 1.0)
+        with b.loop("j", 0, b.sym("N") - 1) as j:
+            b.assign(c[j], a[j + 1])
+        p = b.build()
+        d = fused_distance(p.body[0], p.body[1], "a", "i", "j")
+        assert d == -1
+
+    def test_fused_distance_anti(self):
+        b = ProgramBuilder("p", params={"N": 16})
+        a = b.array("a", "N", output=True)
+        c = b.array("c", "N", output=True)
+        with b.loop("i", 0, b.sym("N") - 1) as i:
+            b.assign(c[i], a[i + 1])  # reads a ahead
+        with b.loop("j", 0, "N") as j:
+            b.assign(a[j], 0.0)  # overwrites
+        p = b.build()
+        # read a[i+1] then write a[j]: kr=1, kw=0 -> distance 1-0 = 1 legal?
+        # the read of element e happens at t=e-1, the write at t=e: ok.
+        d = fused_distance(p.body[0], p.body[1], "a", "i", "j")
+        assert d == 1
+
+    def test_loop_nest_vars(self):
+        from repro.programs import matmul
+
+        loop = matmul(6).body[0]
+        assert loop_nest_vars(loop) == {"i", "j", "k"}
+
+
+class TestLiveness:
+    def test_live_ranges(self):
+        p = two_loop_chain()
+        lr = live_ranges(p)
+        assert lr["tmp"].writes == (0,)
+        assert lr["tmp"].reads == (1,)
+        assert lr["tmp"].last_access == 1
+
+    def test_dead_after(self):
+        p = two_loop_chain()
+        assert not dead_after(p, "tmp", 0)  # read later
+        assert dead_after(p, "tmp", 1)
+        assert dead_after(p, "src", 1)
+
+    def test_output_never_dead(self):
+        p = simple_stream_program()
+        assert not dead_after(p, "a", 0)
+
+    def test_local_arrays(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        t = b.array("t", "N")
+        out = b.array("out", "N", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.assign(t[i], 1.0)
+            b.assign(out[i], t[i] * 2.0)
+        assert local_arrays(b.build()) == {"t"}
+
+    def test_unused_arrays(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        b.array("ghost", "N")
+        s = b.scalar("s", output=True)
+        b.assign(s, 1.0)
+        assert unused_arrays(b.build()) == {"ghost"}
+
+
+class TestLegality:
+    def test_conformable(self):
+        p = two_loop_chain()
+        l0, l1 = p.top_level_loops()
+        assert headers_conformable(l0, l1)
+
+    def test_nonconformable_prevented(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        a = b.array("a", "N", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.assign(a[i], 1.0)
+        with b.loop("j", 1, "N") as j:
+            b.assign(a[j], a[j] + 1.0)
+        assert (0, 1) in fusion_preventing_pairs(b.build())
+
+    def test_negative_distance_prevented(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        a = b.array("a", ("N",))
+        c = b.array("c", "N", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.assign(a[i], 2.0)
+        with b.loop("j", 0, "N") as j:
+            with b.if_(j <= b.sym("N") - 2):
+                b.assign(c[j], a[j + 1])
+        assert (0, 1) in fusion_preventing_pairs(b.build())
+
+    def test_clean_pair_not_prevented(self):
+        p = two_loop_chain()
+        assert fusion_preventing_pairs(p) == frozenset()
+
+    def test_non_loop_statement_prevented(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        a = b.array("a", "N", output=True)
+        s = b.scalar("s", output=True)
+        b.assign(s, 0.0)
+        with b.loop("i", 0, "N") as i:
+            b.assign(a[i], 1.0)
+        assert (0, 1) in fusion_preventing_pairs(b.build())
+
+    def test_scalar_reduction_not_prevented(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        a = b.array("a", "N")
+        c = b.array("c", "N")
+        s = b.scalar("s", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.assign(s, s + a[i])
+        with b.loop("i2", 0, "N") as i:
+            b.assign(s, s + c[i])
+        assert fusion_preventing_pairs(b.build()) == frozenset()
+
+    def test_constraints_bundle(self):
+        p = two_loop_chain()
+        c = fusion_constraints(p)
+        assert c.n_nodes == 2
+        assert c.node_arrays[0] == {"src", "tmp"}
+        assert not c.prevented(0, 1)
+
+
+class TestStaticCounts:
+    def test_stream(self):
+        p = simple_stream_program(n=16)
+        counts = static_counts(p)
+        assert counts.flops == 16
+        assert counts.array_loads == 32
+        assert counts.array_stores == 16
+
+    def test_matches_trace_on_guard_free(self):
+        from repro.programs import convolution, matmul
+        from repro.trace import generate_trace
+
+        for prog in (simple_stream_program(n=32), convolution(32), matmul(8)):
+            st = static_counts(prog)
+            tr = generate_trace(prog)
+            assert st.flops == tr.flops
+            assert st.array_loads == tr.loads
+            assert st.array_stores == tr.stores
+
+    def test_scaled_by_params(self):
+        p = simple_stream_program(n=16)
+        assert static_counts(p, {"N": 4}).flops == 4

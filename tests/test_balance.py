@@ -1,0 +1,155 @@
+"""Tests for the balance model, STREAM and CacheBench analogs."""
+
+import pytest
+
+from repro.balance import (
+    aggregate_balance,
+    bandwidth_utilization,
+    demand_supply_ratios,
+    machine_balance,
+    measure_cachebench,
+    measure_stream,
+    program_balance,
+    required_memory_bandwidth,
+)
+from repro.balance.model import ProgramBalance
+from repro.errors import ReproError
+from repro.interp import execute
+from repro.machine import exemplar, origin2000
+
+from tests.helpers import simple_stream_program
+
+
+@pytest.fixture(scope="module")
+def stream_run():
+    return execute(simple_stream_program(n=8192), origin2000(scale=256))
+
+
+class TestProgramBalance:
+    def test_bytes_per_flop(self, stream_run):
+        b = program_balance(stream_run)
+        # one flop per iteration; 3 element refs -> 24 B/flop registers
+        assert b.bytes_per_flop[0] == pytest.approx(24.0)
+        # memory: a read+write, b read -> ~24 B/flop too
+        assert b.memory_balance == pytest.approx(24.0, rel=0.05)
+        assert b.flops == 8192
+
+    def test_requires_flops(self, stream_run):
+        from dataclasses import replace
+        from repro.interp.counters import HardwareCounters
+
+        broken = replace(
+            stream_run,
+            counters=HardwareCounters(
+                stream_run.counters.machine,
+                0,
+                0,
+                0,
+                stream_run.counters.level_stats,
+                stream_run.counters.downstream_bytes,
+            ),
+        )
+        with pytest.raises(ReproError):
+            program_balance(broken)
+
+    def test_describe(self, stream_run):
+        assert "B/flop" in program_balance(stream_run).describe()
+
+
+class TestMachineBalance:
+    def test_origin_row(self):
+        assert machine_balance(origin2000()) == pytest.approx((4.0, 4.0, 0.8))
+
+    def test_exemplar_row(self):
+        bal = machine_balance(exemplar())
+        assert len(bal) == 2
+        assert bal[0] == pytest.approx(4.0)
+
+
+class TestRatios:
+    def test_ratio_math(self, stream_run):
+        b = program_balance(stream_run)
+        r = demand_supply_ratios(b, stream_run.machine)
+        assert r.ratios[0] == pytest.approx(b.bytes_per_flop[0] / 4.0)
+        assert r.ratios[-1] == pytest.approx(b.memory_balance / 0.8)
+        assert r.limiting_channel == "Mem-L2"
+        assert r.max_ratio == max(r.ratios)
+
+    def test_utilization_bound(self, stream_run):
+        r = demand_supply_ratios(program_balance(stream_run), stream_run.machine)
+        assert r.cpu_utilization_bound == pytest.approx(1.0 / r.max_ratio)
+
+    def test_utilization_capped_at_one(self):
+        b = ProgramBalance("x", ("L1-Reg", "L2-L1", "Mem-L2"), (0.1, 0.1, 0.1), 100, (10, 10, 10))
+        r = demand_supply_ratios(b, origin2000())
+        assert r.cpu_utilization_bound == 1.0
+
+    def test_channel_mismatch(self, stream_run):
+        b = program_balance(stream_run)
+        with pytest.raises(ReproError):
+            demand_supply_ratios(b, exemplar())
+
+    def test_required_bandwidth(self, stream_run):
+        b = program_balance(stream_run)
+        r = demand_supply_ratios(b, stream_run.machine)
+        need = required_memory_bandwidth(r, stream_run.machine)
+        assert need == pytest.approx(stream_run.machine.memory_bandwidth * r.ratios[-1])
+
+    def test_bound_matches_executor_utilization(self, stream_run):
+        """The static bound (1/max-ratio) equals the executor's measured
+        CPU utilization when the same channel binds both."""
+        r = demand_supply_ratios(program_balance(stream_run), stream_run.machine)
+        assert stream_run.cpu_utilization == pytest.approx(
+            r.cpu_utilization_bound, rel=1e-6
+        )
+
+
+class TestAggregate:
+    def test_weighted_not_averaged(self):
+        names = ("L1-Reg", "L2-L1", "Mem-L2")
+        b1 = ProgramBalance("a", names, (8.0, 8.0, 8.0), 100, (800, 800, 800))
+        b2 = ProgramBalance("b", names, (1.0, 1.0, 1.0), 900, (900, 900, 900))
+        agg = aggregate_balance([b1, b2], "ab")
+        assert agg.flops == 1000
+        assert agg.bytes_per_flop[0] == pytest.approx(1.7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            aggregate_balance([], "x")
+
+
+class TestUtilizationMeasure:
+    def test_saturating_kernel(self):
+        run = execute(simple_stream_program(n=8192), origin2000(scale=256))
+        assert bandwidth_utilization(run) == pytest.approx(1.0, rel=0.01)
+
+
+class TestStreamAndCacheBench:
+    def test_stream_measures_spec_bandwidth(self):
+        m = origin2000(scale=256)
+        res = measure_stream(m)
+        for rate in (res.copy, res.scale, res.add, res.triad):
+            assert rate == pytest.approx(m.memory_bandwidth, rel=0.02)
+        assert res.best >= res.copy
+        assert "STREAM" in res.describe()
+
+    def test_cachebench_measures_every_channel(self):
+        m = origin2000(scale=256)
+        res = measure_cachebench(m)
+        assert len(res.bandwidths) == 3
+        assert res.bandwidths[0] == pytest.approx(m.register_bandwidth, rel=0.05)
+        assert res.bandwidths[1] == pytest.approx(m.bandwidths[1], rel=0.25)
+        assert res.bandwidths[2] == pytest.approx(m.memory_bandwidth, rel=0.1)
+
+    def test_exemplar_single_level(self):
+        m = exemplar(scale=256)
+        res = measure_cachebench(m)
+        assert len(res.bandwidths) == 2
+
+    def test_measured_machine_balance_matches_spec(self):
+        """The paper's methodology closes: STREAM/CacheBench on the
+        simulated machine recover the machine-balance row of Figure 1."""
+        m = origin2000(scale=256)
+        stream = measure_stream(m)
+        measured_mem_balance = stream.best / m.peak_flops
+        assert measured_mem_balance == pytest.approx(0.8, rel=0.02)

@@ -1,0 +1,234 @@
+"""Cache simulator tests: hand-computed sequences, policies, and a
+property-based cross-check against an independent reference model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineError
+from repro.machine.cache import Cache, CacheGeometry, CacheStats
+
+
+def make(size=128, line=32, assoc=2, **kw):
+    return Cache("T", CacheGeometry(size, line, assoc), **kw)
+
+
+class TestGeometry:
+    def test_sets_lines(self):
+        g = CacheGeometry(32 * 1024, 32, 2)
+        assert g.n_sets == 512
+        assert g.n_lines == 1024
+
+    def test_direct_mapped(self):
+        g = CacheGeometry(640, 32, 1)
+        assert g.n_sets == 20  # non-power-of-two allowed
+
+    def test_bad_line(self):
+        with pytest.raises(MachineError):
+            CacheGeometry(128, 33, 1)
+        with pytest.raises(MachineError):
+            CacheGeometry(128, 0, 1)
+
+    def test_bad_assoc(self):
+        with pytest.raises(MachineError):
+            CacheGeometry(128, 32, 0)
+
+    def test_indivisible(self):
+        with pytest.raises(MachineError):
+            CacheGeometry(100, 32, 2)
+
+    def test_scaled(self):
+        g = CacheGeometry(4 * 1024 * 1024, 128, 2)
+        s = g.scaled(64)
+        assert s.size_bytes == 64 * 1024
+        assert s.line_size == 128
+
+    def test_scaled_too_far(self):
+        with pytest.raises(MachineError):
+            CacheGeometry(256, 32, 2).scaled(16)
+
+    def test_str(self):
+        assert "direct-mapped" in str(CacheGeometry(640, 32, 1))
+        assert "2-way" in str(CacheGeometry(128, 32, 2))
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = make()
+        hit, wb = c.access(0, False)
+        assert not hit and wb is None
+        hit, wb = c.access(8, False)  # same 32B line
+        assert hit
+
+    def test_write_sets_dirty_and_evicts_with_writeback(self):
+        # direct-mapped, 2 sets of 32B lines (128B, assoc... use 64B 1-way 2 sets)
+        c = make(size=64, line=32, assoc=1)
+        c.access(0, True)  # set 0 dirty
+        hit, wb = c.access(64, False)  # maps to set 0, evicts dirty line 0
+        assert not hit
+        assert wb == 0
+
+    def test_clean_eviction_no_writeback(self):
+        c = make(size=64, line=32, assoc=1)
+        c.access(0, False)
+        hit, wb = c.access(64, False)
+        assert wb is None
+        assert c.stats.evictions == 1
+        assert c.stats.writebacks == 0
+
+    def test_lru_order(self):
+        # one set, 2 ways, lines 0 and 2 and 4 map to set 0
+        c = make(size=64, line=32, assoc=2)  # 1 set
+        c.access(0, False)
+        c.access(32, False)
+        c.access(0, False)  # refresh line 0
+        c.access(64, False)  # evicts line 32 (LRU), not line 0
+        hit, _ = c.access(0, False)
+        assert hit
+        hit, _ = c.access(32, False)
+        assert not hit
+
+    def test_write_hit_dirties(self):
+        c = make(size=64, line=32, assoc=1)
+        c.access(0, False)
+        c.access(0, True)  # write hit -> dirty
+        _, wb = c.access(64, False)
+        assert wb == 0
+
+    def test_stats_accumulate(self):
+        c = make()
+        for addr in (0, 32, 64, 0):
+            c.access(addr, False)
+        assert c.stats.accesses == 4
+        assert c.stats.hits + c.stats.misses == 4
+
+    def test_flush_writes_dirty(self):
+        c = make(size=128, line=32, assoc=2)
+        c.access(0, True)
+        c.access(32, False)
+        addrs, writes = c.flush()
+        assert list(addrs) == [0]
+        assert c.resident_lines == 0
+        assert c.stats.writebacks == 1
+
+    def test_reset_and_reset_stats(self):
+        c = make()
+        c.access(0, True)
+        c.reset_stats()
+        assert c.stats.accesses == 0
+        hit, _ = c.access(0, False)
+        assert hit  # contents survived reset_stats
+        c.reset()
+        hit, _ = c.access(0, False)
+        assert not hit
+
+    def test_events_out_counts_traffic(self):
+        c = make(size=64, line=32, assoc=1)
+        c.access(0, True)  # miss fill: 1 event
+        c.access(64, False)  # evict dirty (1 wb) + fill: 2 events
+        assert c.stats.events_out == 3
+
+
+class TestWriteThrough:
+    def test_validation(self):
+        with pytest.raises(MachineError):
+            make(write_back=False, write_allocate=True)
+
+    def test_write_miss_no_allocate(self):
+        c = make(write_back=False, write_allocate=False)
+        out, out_w = c.run(np.array([0], dtype=np.int64), np.array([True]))
+        assert c.stats.misses == 1
+        assert list(out) == [0]
+        assert list(out_w) == [True]
+        # not resident afterwards
+        hit, _ = c.access(0, False)
+        assert not hit
+
+    def test_write_hit_propagates(self):
+        c = make(write_back=False, write_allocate=False)
+        c.access(0, False)  # fill
+        out, out_w = c.run(np.array([0], dtype=np.int64), np.array([True]))
+        assert c.stats.hits == 1
+        assert list(out_w) == [True]
+
+
+class TestBatchEquivalence:
+    def test_run_matches_single_access(self):
+        rng = np.random.default_rng(3)
+        addrs = rng.integers(0, 512, size=200) * 8
+        writes = rng.random(200) < 0.3
+        a, b = make(), make()
+        a.run(addrs.astype(np.int64), writes)
+        for addr, w in zip(addrs, writes):
+            b.access(int(addr), bool(w))
+        assert a.stats.misses == b.stats.misses
+        assert a.stats.writebacks == b.stats.writebacks
+        assert a.stats.hits == b.stats.hits
+
+
+# -- reference model cross-check ---------------------------------------------
+
+
+class ReferenceLRU:
+    """Straightforward list-based LRU write-back cache (independent code
+    path from the production simulator)."""
+
+    def __init__(self, size, line, assoc):
+        self.line = line
+        self.n_sets = size // (line * assoc)
+        self.assoc = assoc
+        self.sets = [[] for _ in range(self.n_sets)]  # list of [tag, dirty]
+        self.misses = 0
+        self.writebacks = 0
+
+    def access(self, addr, is_write):
+        lineno = addr // self.line
+        s = lineno % self.n_sets
+        tag = lineno // self.n_sets
+        ways = self.sets[s]
+        for entry in ways:
+            if entry[0] == tag:
+                ways.remove(entry)
+                entry[1] = entry[1] or is_write
+                ways.append(entry)
+                return
+        self.misses += 1
+        if len(ways) >= self.assoc:
+            victim = ways.pop(0)
+            if victim[1]:
+                self.writebacks += 1
+        ways.append([tag, is_write])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    addrs=st.lists(st.integers(0, 63), min_size=1, max_size=300),
+    writes=st.data(),
+    assoc=st.sampled_from([1, 2, 4]),
+)
+def test_against_reference_model(addrs, writes, assoc):
+    flags = [writes.draw(st.booleans()) for _ in addrs]
+    cache = Cache("X", CacheGeometry(4 * 32 * assoc, 32, assoc))
+    ref = ReferenceLRU(4 * 32 * assoc, 32, assoc)
+    cache.run(
+        np.array([a * 8 for a in addrs], dtype=np.int64),
+        np.array(flags, dtype=bool),
+    )
+    for a, w in zip(addrs, flags):
+        ref.access(a * 8, w)
+    assert cache.stats.misses == ref.misses
+    assert cache.stats.writebacks == ref.writebacks
+
+
+@settings(max_examples=30, deadline=None)
+@given(addrs=st.lists(st.integers(0, 127), min_size=1, max_size=200))
+def test_invariants(addrs):
+    cache = make(size=128, line=32, assoc=2)
+    cache.run(np.array([a * 8 for a in addrs], dtype=np.int64),
+              np.zeros(len(addrs), dtype=bool))
+    st_ = cache.stats
+    assert st_.hits + st_.misses == st_.accesses == len(addrs)
+    assert st_.writebacks == 0  # read-only trace never writes back
+    assert st_.evictions <= st_.misses
+    assert cache.resident_lines <= cache.geometry.n_lines

@@ -1,0 +1,149 @@
+"""Tests for the expression AST."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.lang.affine import Affine
+from repro.lang.expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Const,
+    IndexValue,
+    ScalarRef,
+    UnaryOp,
+    array_refs,
+    as_expr,
+    flop_count,
+    replace_array,
+    replace_refs,
+    scalar_refs,
+    substitute_expr,
+)
+
+
+def ref(name, *subs):
+    return ArrayRef(name, tuple(Affine.of(s) for s in subs))
+
+
+class TestNodes:
+    def test_const_str(self):
+        assert str(Const(3.0)) == "3"
+        assert str(Const(0.4)) == "0.4"
+
+    def test_as_expr(self):
+        assert as_expr(2) == Const(2.0)
+        assert as_expr(Const(1.0)) == Const(1.0)
+        with pytest.raises(IRError):
+            as_expr("nope")
+
+    def test_array_ref_requires_subscripts(self):
+        with pytest.raises(IRError):
+            ArrayRef("a", ())
+
+    def test_binop_validation(self):
+        with pytest.raises(IRError):
+            BinOp("%", Const(1.0), Const(2.0))
+
+    def test_unary_validation(self):
+        with pytest.raises(IRError):
+            UnaryOp("!", Const(1.0))
+
+    def test_call_unknown(self):
+        with pytest.raises(IRError):
+            Call("mystery", (Const(1.0),))
+
+    def test_call_arity(self):
+        with pytest.raises(IRError):
+            Call("f", (Const(1.0),))  # f takes two args
+
+    def test_index_value(self):
+        iv = IndexValue(Affine({"i": 1}, 1))
+        assert iv.affine == Affine({"i": 1}, 1)
+
+
+class TestOperators:
+    def test_sugar_builds_tree(self):
+        a = ref("a", "i")
+        expr = a + 1
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        expr = 2 * a
+        assert isinstance(expr, BinOp) and expr.op == "*"
+        expr = a / 2 - 1
+        assert expr.op == "-"
+        assert isinstance(-a, UnaryOp)
+
+    def test_reflected(self):
+        a = ref("a", "i")
+        assert (1 - a).op == "-"
+        assert (1 - a).lhs == Const(1.0)
+        assert (2 / a).op == "/"
+
+
+class TestWalkAndCollect:
+    def test_walk_order(self):
+        e = ref("a", "i") + ref("b", "i") * ref("c", "i")
+        names = [n.array for n in e.walk() if isinstance(n, ArrayRef)]
+        assert names == ["a", "b", "c"]
+
+    def test_array_refs_left_to_right(self):
+        e = (ref("x", "i") + 1) * ref("y", "i", "j")
+        assert [r.array for r in array_refs(e)] == ["x", "y"]
+
+    def test_scalar_refs(self):
+        e = ScalarRef("s") + ref("a", "i") + ScalarRef("t")
+        assert [s.name for s in scalar_refs(e)] == ["s", "t"]
+
+
+class TestFlopCount:
+    def test_simple(self):
+        assert flop_count(ref("a", "i") + ref("b", "i")) == 1
+        assert flop_count(ref("a", "i") + ref("b", "i") * 2) == 2
+
+    def test_const_only(self):
+        assert flop_count(Const(1.0)) == 0
+
+    def test_unary(self):
+        assert flop_count(-ref("a", "i")) == 1
+
+    def test_intrinsics(self):
+        assert flop_count(Call("sqrt", (Const(2.0),))) == 1
+        assert flop_count(Call("f", (Const(1.0), Const(2.0)))) == 3
+        assert flop_count(Call("g", (Const(1.0), Const(2.0)))) == 2
+
+    def test_nested_call_args(self):
+        e = Call("sqrt", (ref("a", "i") + 1,))
+        assert flop_count(e) == 2
+
+
+class TestRewrites:
+    def test_substitute_expr(self):
+        e = ref("a", "i") + IndexValue(Affine.var("i"))
+        out = substitute_expr(e, {"i": Affine({"t": 1}, 1)})
+        refs = array_refs(out)
+        assert refs[0].index[0] == Affine({"t": 1}, 1)
+
+    def test_replace_refs_exact(self):
+        a_i = ref("a", "i")
+        e = a_i + ref("a", Affine({"i": 1}, 1))
+        out = replace_refs(e, {a_i: ScalarRef("t")})
+        assert isinstance(out.lhs, ScalarRef)
+        assert isinstance(out.rhs, ArrayRef)  # a[i+1] untouched
+
+    def test_replace_array_transform(self):
+        e = ref("a", "i") * ref("b", "i")
+        out = replace_array(
+            e, lambda r: ScalarRef("z") if r.array == "a" else r
+        )
+        assert isinstance(out.lhs, ScalarRef)
+        assert isinstance(out.rhs, ArrayRef)
+
+    def test_replace_inside_call(self):
+        e = Call("f", (ref("a", "i"), Const(1.0)))
+        out = replace_array(e, lambda r: ScalarRef("t"))
+        assert isinstance(out.args[0], ScalarRef)
+
+    def test_array_ref_substitute(self):
+        r = ref("a", "i", Affine({"j": 1}, -1))
+        out = r.substitute({"j": Affine.var("t")})
+        assert out.index[1] == Affine({"t": 1}, -1)

@@ -1,0 +1,453 @@
+"""Fusion tests: graph/partitioning model, two-partitioning, exact and
+greedy multi-partitioning, the edge-weighted baseline, the k-way-cut
+reduction, and the loop-fusion rewriter."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FusionError
+from repro.fusion import (
+    FusionGraph,
+    KWayCutInstance,
+    Partitioning,
+    apply_partitioning,
+    bandwidth_cost,
+    brute_force_kway_cut,
+    check_legal,
+    edge_weight_cost,
+    fuse_loops,
+    fusion_graph_from_program,
+    greedy_edge_weighted,
+    greedy_partitioning,
+    hyperedge_length_cost,
+    is_legal,
+    optimal_edge_weighted,
+    optimal_partitioning,
+    orient_terminals,
+    reload_count,
+    to_fusion_graph,
+    two_partition,
+    verify_reduction,
+)
+
+from tests.helpers import two_loop_chain
+
+
+def fig4_graph():
+    return FusionGraph.build(
+        [
+            {"A", "D", "E", "F"},
+            {"A", "D", "E", "F"},
+            {"A", "D", "E", "F"},
+            {"B", "C", "D", "E", "F"},
+            {"A"},
+            {"B", "C"},
+        ],
+        deps=[(4, 5)],
+        preventing=[(4, 5)],
+    )
+
+
+class TestGraphModel:
+    def test_build_and_inspect(self):
+        g = fig4_graph()
+        assert g.n_nodes == 6
+        assert g.all_arrays == {"A", "B", "C", "D", "E", "F"}
+        assert g.arrays_of({4, 5}) == {"A", "B", "C"}
+        assert g.prevented(5, 4)
+        assert g.shared_weight(0, 1) == 4
+        assert g.shared_weight(0, 4) == 1
+
+    def test_hyperedges(self):
+        g = fig4_graph()
+        he = g.hyperedges()
+        assert he["A"] == {0, 1, 2, 4}
+        assert he["B"] == {3, 5}
+
+    def test_cycle_rejected(self):
+        with pytest.raises(FusionError):
+            FusionGraph.build([{"a"}, {"b"}], deps=[(0, 1), (1, 0)])
+
+    def test_bad_edges(self):
+        with pytest.raises(FusionError):
+            FusionGraph.build([{"a"}], deps=[(0, 5)])
+
+    def test_legality_checks(self):
+        g = fig4_graph()
+        assert is_legal(g, Partitioning.singletons(6))
+        assert check_legal(g, Partitioning.of([{0, 1, 2, 3, 4}, {5}])) is None
+        # preventing pair together
+        assert "fusion-preventing" in check_legal(g, Partitioning.of([{4, 5}, {0, 1, 2, 3}]))
+        # dep backwards
+        assert "backward" in check_legal(g, Partitioning.of([{5}, {0, 1, 2, 3, 4}]))
+        # missing node
+        assert "not placed" in check_legal(g, Partitioning.of([{0, 1, 2, 3, 4}]))
+        # duplicate node
+        assert "more than one" in check_legal(
+            g, Partitioning.of([{0, 1}, {1, 2, 3, 4, 5}])
+        )
+        assert "empty" in check_legal(g, Partitioning.of([set(), {0, 1, 2, 3, 4, 5}]))
+
+    def test_group_of(self):
+        p = Partitioning.of([{0, 2}, {1}])
+        assert p.group_of(2) == 0
+        with pytest.raises(FusionError):
+            p.group_of(9)
+
+
+class TestCosts:
+    def test_paper_numbers(self):
+        g = fig4_graph()
+        assert bandwidth_cost(g, Partitioning.singletons(6)) == 20
+        best = Partitioning.of([{4}, {0, 1, 2, 3, 5}])
+        assert bandwidth_cost(g, best) == 7
+        ew_best = Partitioning.of([{0, 1, 2, 3, 4}, {5}])
+        assert bandwidth_cost(g, ew_best) == 8
+        assert edge_weight_cost(g, ew_best) == 2
+        assert edge_weight_cost(g, best) == 3
+
+    def test_hyperedge_length_equals_bandwidth_cost(self):
+        g = fig4_graph()
+        for groups in ([{0, 1, 2, 3, 4}, {5}], [{4}, {0, 1, 2, 3, 5}], [{i} for i in range(6)]):
+            p = Partitioning.of(groups)
+            assert hyperedge_length_cost(g, p) == bandwidth_cost(g, p)
+
+    def test_reload_count(self):
+        g = fig4_graph()
+        assert reload_count(g, Partitioning.of([{4}, {0, 1, 2, 3, 5}])) == 1
+        assert reload_count(g, Partitioning.singletons(6)) == 14
+
+
+class TestTwoPartition:
+    def test_fig4(self):
+        g = fig4_graph()
+        r = two_partition(g, 4, 5)
+        assert r.partitioning == Partitioning.of([{4}, {0, 1, 2, 3, 5}])
+        assert r.cost == 7
+        assert r.cut_arrays == {"A"}
+
+    def test_dependence_forces_side(self):
+        # 0 -> 1 dep; terminals (s=2, t=3); node 1 shares an array with s's
+        # side but must stay with/after 0.
+        g = FusionGraph.build(
+            [{"X"}, {"X", "Y"}, {"X"}, {"Y"}],
+            deps=[(3, 1)],  # t-node depends: 1 must come after 3? no: 3->1
+            preventing=[(2, 3)],
+        )
+        # dep (3,1): 3 before 1; terminal t=3 is late side, so 1 must be late.
+        r = two_partition(g, 2, 3)
+        assert r.partitioning.group_of(1) == 1
+
+    def test_contradicting_terminals_rejected(self):
+        g = FusionGraph.build([{"X"}, {"Y"}], deps=[(1, 0)], preventing=[(0, 1)])
+        with pytest.raises(FusionError):
+            two_partition(g, 0, 1)  # 1 precedes 0, cannot put 0 early
+
+    def test_orient_terminals(self):
+        g = FusionGraph.build([{"X"}, {"Y"}, {"Z"}], deps=[(1, 0)], preventing=[(0, 1)])
+        assert orient_terminals(g, 0, 1) == (1, 0)
+        assert orient_terminals(g, 1, 0) == (1, 0)
+        g2 = FusionGraph.build([{"X"}, {"Y"}], preventing=[(0, 1)])
+        assert orient_terminals(g2, 1, 0) == (0, 1)
+
+    def test_brute_force_agreement(self):
+        """Exact enumeration over all 2-splits agrees with the min-cut."""
+        rng_graphs = [
+            FusionGraph.build(
+                [
+                    {"A", "B"},
+                    {"B", "C"},
+                    {"C", "D"},
+                    {"A", "D", "E"},
+                    {"E"},
+                ],
+                preventing=[(0, 4)],
+            ),
+            fig4_graph(),
+        ]
+        for g in rng_graphs:
+            pairs = sorted(g.preventing)[0]
+            s, t = pairs
+            r = two_partition(g, s, t)
+            best = None
+            nodes = set(range(g.n_nodes)) - {s, t}
+            for mask in itertools.product([0, 1], repeat=len(nodes)):
+                early = {s} | {n for n, m in zip(sorted(nodes), mask) if m == 0}
+                late = set(range(g.n_nodes)) - early
+                p = Partitioning.of([early, late])
+                if any(a in late and b in early for a, b in g.deps):
+                    continue
+                cost = bandwidth_cost(g, p)
+                best = cost if best is None else min(best, cost)
+            assert r.cost == best
+
+
+class TestMultiPartition:
+    def test_fig4_exact(self):
+        sol = optimal_partitioning(fig4_graph())
+        assert sol.cost == 7
+
+    def test_no_constraints_fuses_everything(self):
+        g = FusionGraph.build([{"a", "b"}, {"b", "c"}, {"c"}])
+        sol = optimal_partitioning(g)
+        assert sol.partitioning.n_groups == 1
+        assert sol.cost == 3
+
+    def test_all_prevented_stays_apart(self):
+        g = FusionGraph.build(
+            [{"a"}, {"a"}, {"a"}],
+            preventing=[(0, 1), (0, 2), (1, 2)],
+        )
+        sol = optimal_partitioning(g)
+        assert sol.partitioning.n_groups == 3
+        assert sol.cost == 3
+
+    def test_size_guard(self):
+        g = FusionGraph.build([{f"x{i}"} for i in range(15)])
+        with pytest.raises(FusionError):
+            optimal_partitioning(g)
+
+    def test_greedy_legal_and_reasonable(self):
+        g = fig4_graph()
+        sol = greedy_partitioning(g)
+        assert is_legal(g, sol.partitioning)
+        assert sol.cost == 7  # on Figure 4 the heuristic is optimal
+
+    def test_greedy_on_unconstrained(self):
+        g = FusionGraph.build([{"a"}, {"a", "b"}, {"b"}])
+        sol = greedy_partitioning(g)
+        assert sol.partitioning.n_groups == 1
+
+    def test_exact_beats_or_ties_greedy(self):
+        """Exhaustive check on random graphs: exact <= greedy, both legal."""
+        import numpy as np
+
+        rng = np.random.default_rng(42)
+        arrays = list("ABCDEFG")
+        for trial in range(15):
+            n = int(rng.integers(3, 7))
+            node_arrays = [
+                set(rng.choice(arrays, size=rng.integers(1, 4), replace=False))
+                for _ in range(n)
+            ]
+            prevent = set()
+            for _ in range(rng.integers(1, 3)):
+                u, v = sorted(rng.choice(n, size=2, replace=False))
+                prevent.add((int(u), int(v)))
+            deps = set()
+            for _ in range(rng.integers(0, 3)):
+                u, v = sorted(rng.choice(n, size=2, replace=False))
+                deps.add((int(u), int(v)))
+            g = FusionGraph.build(node_arrays, deps=deps, preventing=prevent)
+            exact = optimal_partitioning(g)
+            greedy = greedy_partitioning(g)
+            assert is_legal(g, exact.partitioning)
+            assert is_legal(g, greedy.partitioning)
+            assert exact.cost <= greedy.cost
+
+
+class TestEdgeWeighted:
+    def test_fig4_optimal(self):
+        g = fig4_graph()
+        sol = optimal_edge_weighted(g)
+        assert sol.cross_weight == 2
+        assert sol.partitioning == Partitioning.of([{0, 1, 2, 3, 4}, {5}])
+
+    def test_counterexample_holds(self):
+        """The paper's core claim: the two objectives pick different
+        partitionings, and the edge-weighted one moves more data."""
+        g = fig4_graph()
+        ew = optimal_edge_weighted(g)
+        bw = optimal_partitioning(g)
+        assert bandwidth_cost(g, ew.partitioning) > bw.cost
+        assert edge_weight_cost(g, bw.partitioning) > ew.cross_weight
+
+    def test_greedy_edge_weighted_legal(self):
+        g = fig4_graph()
+        sol = greedy_edge_weighted(g)
+        assert is_legal(g, sol.partitioning)
+
+    def test_exact_edge_weighted_brute_force(self):
+        g = FusionGraph.build(
+            [{"a", "b"}, {"b", "c"}, {"a", "c"}, {"c"}],
+            preventing=[(0, 3)],
+        )
+        sol = optimal_edge_weighted(g)
+        # brute force over 2..4 ordered groups
+        best = None
+        for p in _all_partitionings(4):
+            if not is_legal(g, p):
+                continue
+            w = edge_weight_cost(g, p)
+            best = w if best is None else min(best, w)
+        assert sol.cross_weight == best
+
+
+def _all_partitionings(n):
+    """All ordered set partitions of range(n)."""
+    if n == 0:
+        yield Partitioning(())
+        return
+    items = list(range(n))
+
+    def rec(remaining):
+        if not remaining:
+            yield ()
+            return
+        rest = list(remaining)
+        first_sets = []
+        for mask in range(1, 1 << len(rest)):
+            group = frozenset(rest[i] for i in range(len(rest)) if mask & (1 << i))
+            first_sets.append(group)
+        for group in first_sets:
+            for tail in rec([x for x in rest if x not in group]):
+                yield (group,) + tail
+
+    for groups in rec(items):
+        yield Partitioning(groups)
+
+
+class TestKWayCut:
+    def test_reduction_on_triangle(self):
+        inst = KWayCutInstance(3, ((0, 1), (1, 2), (0, 2)), (0, 2))
+        fusion, cut = verify_reduction(inst)
+        assert fusion == cut == 3 + 2
+
+    def test_three_terminals(self):
+        inst = KWayCutInstance(5, ((0, 1), (1, 2), (2, 3), (3, 4), (0, 4)), (0, 2, 4))
+        fusion, cut = verify_reduction(inst)
+        assert fusion == cut
+
+    def test_brute_force_basics(self):
+        inst = KWayCutInstance(4, ((0, 1), (1, 2), (2, 3)), (0, 3))
+        weight, assign = brute_force_kway_cut(inst)
+        assert weight == 1
+        assert assign[0] != assign[3]
+
+    def test_construction_shape(self):
+        inst = KWayCutInstance(4, ((0, 1), (2, 3)), (0, 3))
+        g = to_fusion_graph(inst)
+        assert g.n_nodes == 4
+        assert g.prevented(0, 3)
+        assert len(g.all_arrays) == 2
+
+    def test_validation(self):
+        with pytest.raises(FusionError):
+            KWayCutInstance(3, ((0, 0),), (0, 1))
+        with pytest.raises(FusionError):
+            KWayCutInstance(3, ((0, 1),), (0,))
+        with pytest.raises(FusionError):
+            KWayCutInstance(3, ((0, 1),), (0, 9))
+
+
+class TestApply:
+    def test_fuse_chain(self):
+        p = two_loop_chain(n=16)
+        g = fusion_graph_from_program(p)
+        fused = apply_partitioning(p, Partitioning.of([{0, 1}]), g)
+        assert len(fused.body) == 1
+        loop = fused.body[0]
+        assert len(loop.body) == 2
+
+    def test_fusion_renames_vars(self):
+        from repro.lang import ProgramBuilder
+
+        b = ProgramBuilder("p", params={"N": 8})
+        a = b.array("a", "N")
+        c = b.array("c", "N", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.assign(a[i], 1.0)
+        with b.loop("j", 0, "N") as j:
+            b.assign(c[j], a[j])
+        p = b.build()
+        fused = apply_partitioning(p, Partitioning.of([{0, 1}]))
+        loop = fused.body[0]
+        assert loop.var == "i"
+        from repro.lang.analysis import access_sets
+
+        assert access_sets(loop).reads == {"a"}
+
+    def test_fusion_preserves_semantics(self):
+        from repro.transforms import verify_equivalent
+
+        p = two_loop_chain(n=16)
+        fused = apply_partitioning(p, Partitioning.of([{0, 1}]))
+        verify_equivalent(p, fused)
+
+    def test_inner_fusion_of_2d_nests(self):
+        from repro.lang import ProgramBuilder
+        from repro.transforms import verify_equivalent
+
+        b = ProgramBuilder("p", params={"N": 6})
+        x = b.array("x", ("N", "N"))
+        y = b.array("y", ("N", "N"), output=True)
+        with b.loop("i1", 0, "N") as i:
+            with b.loop("j1", 0, "N") as j:
+                b.assign(x[i, j], 2.0)
+        with b.loop("i2", 0, "N") as i:
+            with b.loop("j2", 0, "N") as j:
+                b.assign(y[i, j], x[i, j] + 1.0)
+        p = b.build()
+        fused = apply_partitioning(p, Partitioning.of([{0, 1}]))
+        inner = fused.body[0].body
+        assert len(inner) == 1  # inner loops fused too
+        verify_equivalent(p, fused, params_list=[{"N": 6}])
+
+    def test_nonconformable_rejected(self):
+        from repro.lang import ProgramBuilder
+
+        b = ProgramBuilder("p", params={"N": 8})
+        a = b.array("a", "N", output=True)
+        c = b.array("c", "N", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.assign(a[i], 1.0)
+        with b.loop("j", 1, "N") as j:
+            b.assign(c[j], 1.0)
+        p = b.build()
+        with pytest.raises(FusionError):
+            fuse_loops(list(p.top_level_loops()))
+
+    def test_illegal_partitioning_rejected(self):
+        p = two_loop_chain(n=8)
+        g = fusion_graph_from_program(p)
+        with pytest.raises(FusionError):
+            apply_partitioning(p, Partitioning.of([{1}, {0}]), g)  # dep backwards
+
+    def test_graph_from_program_matches_fig4(self):
+        from repro.programs import FIG4_PREVENTING, fig4_program
+
+        g = fusion_graph_from_program(fig4_program(16), extra_preventing=FIG4_PREVENTING)
+        assert g.n_nodes == 6
+        assert [len(node.arrays) for node in g.nodes] == [4, 4, 4, 5, 1, 2]
+        assert g.prevented(4, 5)
+        sol = optimal_partitioning(g)
+        assert sol.cost == 7
+
+
+# -- property: exact DP solver is truly optimal -------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_exact_matches_exhaustive(data):
+    n = data.draw(st.integers(2, 4))
+    arrays = "ABCD"
+    node_arrays = [
+        data.draw(st.sets(st.sampled_from(arrays), min_size=1, max_size=3))
+        for _ in range(n)
+    ]
+    n_prevent = data.draw(st.integers(0, 2))
+    preventing = set()
+    for _ in range(n_prevent):
+        u = data.draw(st.integers(0, n - 2))
+        v = data.draw(st.integers(u + 1, n - 1))
+        preventing.add((u, v))
+    g = FusionGraph.build(node_arrays, preventing=preventing)
+    sol = optimal_partitioning(g)
+    best = min(
+        bandwidth_cost(g, p) for p in _all_partitionings(n) if is_legal(g, p)
+    )
+    assert sol.cost == best

@@ -1,0 +1,202 @@
+"""Tests for the reference interpreter and the machine executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.interp import Evaluator, MachineRun, evaluate, execute
+from repro.lang import ProgramBuilder, call
+from repro.machine import LayoutPolicy
+
+from tests.helpers import reduction_program, simple_stream_program, two_loop_chain
+
+
+class TestEvaluatorSemantics:
+    def test_reduction_value(self):
+        p = reduction_program(n=16)
+        out = evaluate(p, {"N": 16})
+        ev = Evaluator(p, {"N": 16})
+        assert out.scalars["sum"] == pytest.approx(float(ev.arrays["a"].sum()), rel=1e-12)
+
+    def test_initial_scalar_value(self):
+        b = ProgramBuilder("p")
+        s = b.scalar("s", output=True, initial=2.5)
+        b.assign(s, s * 2.0)
+        assert evaluate(b.build()).scalars["s"] == 5.0
+
+    def test_index_value(self):
+        b = ProgramBuilder("p", params={"N": 4})
+        a = b.array("a", "N", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.assign(a[i], i.as_value() * 2.0)
+        out = evaluate(b.build())
+        assert list(out.arrays["a"]) == [0.0, 2.0, 4.0, 6.0]
+
+    def test_intrinsics(self):
+        b = ProgramBuilder("p")
+        s = b.scalar("s", output=True)
+        b.assign(s, call("sqrt", 9.0) + call("f", 2.0, 4.0))
+        out = evaluate(b.build())
+        assert out.scalars["s"] == pytest.approx(3.0 + (0.5 * 2.0 + 0.25 * 4.0))
+
+    def test_min_max_abs_div(self):
+        from repro.lang.expr import BinOp, Const, UnaryOp
+
+        b = ProgramBuilder("p")
+        s = b.scalar("s", output=True)
+        expr = BinOp("max", Const(1.0), BinOp("min", Const(2.0), Const(3.0))) + UnaryOp(
+            "abs", Const(-4.0)
+        ) + Const(9.0) / Const(3.0)
+        b.assign(s, expr)
+        assert evaluate(b.build()).scalars["s"] == pytest.approx(2.0 + 4.0 + 3.0)
+
+    def test_guard_execution(self):
+        b = ProgramBuilder("p", params={"N": 6})
+        s = b.scalar("s", output=True)
+        with b.loop("i", 0, "N") as i:
+            with b.if_(i < 2):
+                b.assign(s, s + 1.0)
+            with b.else_():
+                b.assign(s, s + 10.0)
+        assert evaluate(b.build()).scalars["s"] == 2 + 40
+
+    def test_bounds_check(self):
+        b = ProgramBuilder("p", params={"N": 4})
+        a = b.array("a", "N", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.assign(a[i + 1], 1.0)
+        with pytest.raises(ExecutionError, match="out of bounds"):
+            evaluate(b.build())
+
+    def test_read_stream_deterministic(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        a = b.array("a", "N", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.read(a[i])
+        p = b.build()
+        r1 = evaluate(p, input_seed=5)
+        r2 = evaluate(p, input_seed=5)
+        r3 = evaluate(p, input_seed=6)
+        assert np.array_equal(r1.arrays["a"], r2.arrays["a"])
+        assert not np.array_equal(r1.arrays["a"], r3.arrays["a"])
+
+    def test_array_init_independent_of_siblings(self):
+        """Dropping an unrelated array must not change another's initial
+        contents (transform verification depends on this)."""
+        p1 = simple_stream_program(n=8)
+        p2 = p1.adding_array(
+            __import__("repro.lang.types", fromlist=["ArrayDecl"]).ArrayDecl(
+                "zzz", (__import__("repro.lang.affine", fromlist=["Affine"]).Affine.var("N"),)
+            )
+        )
+        e1 = Evaluator(p1, {"N": 8})
+        e2 = Evaluator(p2, {"N": 8})
+        assert np.array_equal(e1.arrays["a"], e2.arrays["a"])
+
+    def test_param_override(self):
+        p = reduction_program(n=64)
+        small = evaluate(p, {"N": 2})
+        assert small.scalars["sum"] != 0
+
+
+class TestExecutor:
+    def test_sec21_write_loop_twice_read_loop(self, tiny_machine):
+        """The paper's §2.1 observation under the bandwidth model."""
+        from repro.programs import sec21_read_loop, sec21_write_loop
+
+        n = 512  # 4 KiB array, 4x the tiny L2
+        w = execute(sec21_write_loop(n), tiny_machine)
+        r = execute(sec21_read_loop(n), tiny_machine)
+        assert w.seconds / r.seconds == pytest.approx(2.0, rel=0.05)
+
+    def test_counters_for_stream(self, tiny_machine):
+        p = simple_stream_program(n=512)  # two 4 KiB arrays
+        run = execute(p, tiny_machine)
+        c = run.counters
+        assert c.graduated_flops == 512
+        assert c.loads == 1024 and c.stores == 512
+        assert c.register_bytes == 8 * 1536
+        # memory traffic: read a+b (8 KiB) + write back a (4 KiB)
+        assert c.memory_bytes == 3 * 4096
+
+    def test_passes_scale_traffic(self, tiny_machine):
+        p = simple_stream_program(n=512)
+        one = execute(p, tiny_machine, passes=1)
+        two = execute(p, tiny_machine, passes=2)
+        assert two.counters.graduated_flops == 2 * one.counters.graduated_flops
+        assert two.counters.memory_bytes == pytest.approx(
+            2 * one.counters.memory_bytes, rel=0.05
+        )
+
+    def test_warmup_resident(self, tiny_machine):
+        # array fits in L2 (1 KiB): after warmup, no memory traffic
+        p = simple_stream_program(n=32)  # 256B x 2
+        cold = execute(p, tiny_machine, flush=False)
+        warm = execute(p, tiny_machine, warmup_passes=1, flush=False)
+        assert warm.counters.memory_bytes == 0
+        assert cold.counters.memory_bytes > 0
+
+    def test_flush_adds_writebacks(self, tiny_machine):
+        p = simple_stream_program(n=512)
+        with_flush = execute(p, tiny_machine, flush=True)
+        without = execute(p, tiny_machine, flush=False)
+        assert with_flush.counters.memory_bytes > without.counters.memory_bytes
+
+    def test_effective_bandwidth_saturates(self, tiny_machine):
+        p = simple_stream_program(n=2048)
+        run = execute(p, tiny_machine)
+        assert run.effective_bandwidth == pytest.approx(
+            tiny_machine.memory_bandwidth, rel=0.01
+        )
+        assert run.time.bound == "Mem-L2"
+
+    def test_empty_program_rejected(self, tiny_machine):
+        b = ProgramBuilder("p", params={"N": 0})
+        a = b.array("a", 8, output=True)
+        with b.loop("i", 0, "N") as i:
+            b.assign(a[i], 1.0)
+        with pytest.raises(ExecutionError, match="no work"):
+            execute(b.build(), tiny_machine)
+
+    def test_layout_policy_override(self, tiny_machine):
+        p = simple_stream_program(n=512)
+        run = execute(p, tiny_machine, layout_policy=LayoutPolicy(alignment=8, pad_bytes=0))
+        assert isinstance(run, MachineRun)
+
+    def test_mflops_and_describe(self, tiny_machine):
+        p = simple_stream_program(n=512)
+        run = execute(p, tiny_machine)
+        assert run.mflops > 0
+        assert "stream" in run.describe()
+
+    def test_overlap_respects_bandwidth_floor(self, tiny_machine):
+        """The overlap model can never beat the bandwidth bound (the
+        paper's 'latency cannot be fully tolerated without infinite
+        bandwidth'); the pure latency model ignores bandwidth and may be
+        lower on a narrow-bandwidth machine."""
+        p = simple_stream_program(n=2048)
+        run = execute(p, tiny_machine)
+        assert run.latency_time > 0
+        assert run.overlap4_time >= run.seconds
+
+
+class TestDirectMappedConflict:
+    def test_period_five_thrash(self, one_level_machine):
+        """Two arrays spaced a multiple of the cache apart thrash a
+        direct-mapped cache; padding fixes it (footnote 3 mechanics)."""
+        b = ProgramBuilder("p", params={"N": 96})
+        x = b.array("x", "N", output=True)
+        y = b.array("y", "N")
+        with b.loop("i", 0, "N") as i:
+            b.assign(x[i], x[i] + y[i])
+        p = b.build()
+        # 96 doubles = 768 B > the 640 B cache; x at base 0 and pad 512 puts
+        # y at 1280 = 2 x 640, i.e. on exactly x's sets: total conflict.
+        conflicted = execute(
+            p, one_level_machine,
+            layout_policy=LayoutPolicy(alignment=8, pad_bytes=512),
+        )
+        clean = execute(
+            p, one_level_machine, layout_policy=LayoutPolicy(alignment=8, pad_bytes=64)
+        )
+        assert clean.counters.memory_bytes < conflicted.counters.memory_bytes

@@ -1,0 +1,113 @@
+"""Max-flow tests: hand graphs, min-cut duality, and a cross-check against
+networkx's independent implementation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FusionError
+from repro.fusion.maxflow import FlowNetwork, max_flow
+
+
+class TestBasics:
+    def test_single_edge(self):
+        r = max_flow({("s", "t"): 3.0}, "s", "t")
+        assert r.value == 3.0
+        assert r.cut_edges == {("s", "t")}
+        assert r.source_side == {"s"}
+
+    def test_two_paths(self):
+        edges = {("s", "a"): 2, ("a", "t"): 2, ("s", "b"): 3, ("b", "t"): 1}
+        r = max_flow(edges, "s", "t")
+        assert r.value == 3
+
+    def test_bottleneck(self):
+        edges = {("s", "a"): 10, ("a", "b"): 1, ("b", "t"): 10}
+        r = max_flow(edges, "s", "t")
+        assert r.value == 1
+        assert r.cut_edges == {("a", "b")}
+
+    def test_classic_clrs(self):
+        edges = {
+            ("s", "v1"): 16, ("s", "v2"): 13,
+            ("v1", "v3"): 12, ("v2", "v1"): 4, ("v2", "v4"): 14,
+            ("v3", "v2"): 9, ("v3", "t"): 20,
+            ("v4", "v3"): 7, ("v4", "t"): 4,
+        }
+        assert max_flow(edges, "s", "t").value == 23
+
+    def test_disconnected(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 1)
+        net.add_node("t")
+        r = net.max_flow("s", "t")
+        assert r.value == 0
+        assert not r.cut_edges
+
+    def test_parallel_edges_accumulate(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 1)
+        net.add_edge("s", "t", 2)
+        assert net.max_flow("s", "t").value == 3
+
+    def test_infinite_capacity_mid_path(self):
+        edges = {("s", "a"): 5, ("a", "t"): math.inf, ("s", "b"): math.inf, ("b", "t"): 2}
+        r = max_flow(edges, "s", "t")
+        assert r.value == 7
+
+    def test_infinite_st_path_rejected(self):
+        with pytest.raises(FusionError, match="infinite"):
+            max_flow({("s", "t"): math.inf}, "s", "t")
+
+    def test_validation(self):
+        net = FlowNetwork()
+        with pytest.raises(FusionError):
+            net.add_edge("a", "a", 1)
+        with pytest.raises(FusionError):
+            net.add_edge("a", "b", -1)
+        net.add_edge("a", "b", 1)
+        with pytest.raises(FusionError):
+            net.max_flow("a", "zzz")
+        with pytest.raises(FusionError):
+            net.max_flow("a", "a")
+
+    def test_cut_separates(self):
+        edges = {("s", "a"): 2, ("a", "t"): 1, ("s", "t"): 1}
+        r = max_flow(edges, "s", "t")
+        assert "t" not in r.source_side
+        cut_weight = sum(edges[e] for e in r.cut_edges)
+        assert cut_weight == r.value
+
+
+# -- cross-check against networkx ---------------------------------------------
+
+node_ids = st.integers(0, 7)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    edges=st.dictionaries(
+        st.tuples(node_ids, node_ids).filter(lambda p: p[0] != p[1]),
+        st.integers(1, 10),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_against_networkx(edges):
+    import networkx as nx
+
+    g = nx.DiGraph()
+    g.add_nodes_from([0, 7])
+    for (u, v), c in edges.items():
+        if g.has_edge(u, v):
+            g[u][v]["capacity"] += c
+        else:
+            g.add_edge(u, v, capacity=c)
+    want = nx.maximum_flow_value(g, 0, 7)
+    got = max_flow({k: float(v) for k, v in edges.items()}, 0, 7)
+    assert got.value == pytest.approx(want)
+    # min-cut weight equals max flow (duality)
+    cut_weight = sum(edges[e] for e in got.cut_edges)
+    assert cut_weight == pytest.approx(want)

@@ -1,0 +1,163 @@
+"""Hypergraph minimal-cut (Figure 5 algorithm) tests with brute-force
+cross-checks."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FusionError
+from repro.fusion.hypergraph import Hyperedge, Hypergraph
+from repro.fusion.mincut import minimal_hyperedge_cut
+
+
+def hg(n, *edges, weights=None):
+    return Hypergraph(
+        n,
+        tuple(
+            Hyperedge(f"e{i}", frozenset(m), (weights or {}).get(i, 1.0))
+            for i, m in enumerate(edges)
+        ),
+    )
+
+
+def brute_force_cut(h: Hypergraph, s: int, t: int) -> float:
+    """Minimal total weight over all hyperedge subsets disconnecting s,t."""
+    best = None
+    names = [e.name for e in h.edges]
+    for r in range(len(names) + 1):
+        for combo in itertools.combinations(names, r):
+            if not h.connected(s, t, frozenset(combo)):
+                weight = sum(h.edge(n).weight for n in combo)
+                best = weight if best is None else min(best, weight)
+    assert best is not None
+    return best
+
+
+class TestHypergraph:
+    def test_component(self):
+        h = hg(4, {0, 1}, {1, 2})
+        assert h.component(0) == {0, 1, 2}
+        assert h.component(3) == {3}
+
+    def test_component_excluding(self):
+        h = hg(4, {0, 1}, {1, 2})
+        assert h.component(0, frozenset({"e1"})) == {0, 1}
+
+    def test_connected(self):
+        h = hg(3, {0, 1, 2})
+        assert h.connected(0, 2)
+        assert not h.connected(0, 2, frozenset({"e0"}))
+
+    def test_from_fusion_graph(self):
+        from repro.fusion import FusionGraph
+
+        g = FusionGraph.build([{"A", "B"}, {"B"}, {"C"}])
+        h = Hypergraph.from_fusion_graph(g)
+        names = {e.name: e.members for e in h.edges}
+        assert names == {"A": {0}, "B": {0, 1}, "C": {2}}
+
+    def test_validation(self):
+        with pytest.raises(FusionError):
+            Hyperedge("x", frozenset())
+        with pytest.raises(FusionError):
+            Hyperedge("x", frozenset({0}), weight=0)
+        with pytest.raises(FusionError):
+            Hypergraph(2, (Hyperedge("a", frozenset({5})),))
+        with pytest.raises(FusionError):
+            Hypergraph(2, (Hyperedge("a", frozenset({0})), Hyperedge("a", frozenset({1}))))
+
+
+class TestMinimalCut:
+    def test_single_edge(self):
+        h = hg(2, {0, 1})
+        cut = minimal_hyperedge_cut(h, 0, 1)
+        assert cut.cut == {"e0"}
+        assert cut.weight == 1.0
+        assert cut.side_s == {0}
+
+    def test_chain_cuts_once(self):
+        h = hg(4, {0, 1}, {1, 2}, {2, 3})
+        cut = minimal_hyperedge_cut(h, 0, 3)
+        assert len(cut.cut) == 1
+
+    def test_parallel_paths_need_two(self):
+        h = hg(4, {0, 1}, {1, 3}, {0, 2}, {2, 3})
+        cut = minimal_hyperedge_cut(h, 0, 3)
+        assert cut.weight == 2.0
+
+    def test_shared_hyperedge_counted_once(self):
+        """One array shared by three loops: separating any pair cuts one
+        hyperedge — the aggregation the edge-weighted model gets wrong."""
+        h = hg(3, {0, 1, 2})
+        cut = minimal_hyperedge_cut(h, 0, 2)
+        assert cut.weight == 1.0
+
+    def test_weights_respected(self):
+        h = hg(3, {0, 1}, {1, 2}, weights={0: 5.0, 1: 1.0})
+        cut = minimal_hyperedge_cut(h, 0, 2)
+        assert cut.cut == {"e1"}
+
+    def test_terminals_sharing_edge(self):
+        h = hg(2, {0, 1}, {0, 1})
+        cut = minimal_hyperedge_cut(h, 0, 1)
+        assert cut.weight == 2.0  # both must be cut
+
+    def test_disconnected_terminals(self):
+        h = hg(4, {0, 1}, {2, 3})
+        cut = minimal_hyperedge_cut(h, 0, 3)
+        assert cut.weight == 0
+        assert cut.side_s == {0, 1}
+        assert 3 in cut.side_t
+
+    def test_validation(self):
+        h = hg(2, {0, 1})
+        with pytest.raises(FusionError):
+            minimal_hyperedge_cut(h, 0, 0)
+        with pytest.raises(FusionError):
+            minimal_hyperedge_cut(h, 0, 9)
+
+    def test_figure4_hypergraph(self):
+        """The paper's example as a raw hypergraph: cutting A separates
+        loop 5 from the rest at cost 1."""
+        edges = {
+            "A": {0, 1, 2, 4},
+            "B": {3, 5},
+            "C": {3, 5},
+            "D": {0, 1, 2, 3},
+            "E": {0, 1, 2, 3},
+            "F": {0, 1, 2, 3},
+        }
+        h = Hypergraph(
+            6, tuple(Hyperedge(k, frozenset(v)) for k, v in sorted(edges.items()))
+        )
+        cut = minimal_hyperedge_cut(h, 4, 5)
+        assert cut.cut == {"A"}
+        assert cut.side_s == {4}
+
+
+# -- brute-force cross-check --------------------------------------------------
+
+
+@st.composite
+def small_hypergraphs(draw):
+    n = draw(st.integers(3, 6))
+    n_edges = draw(st.integers(1, 7))
+    edges = []
+    for i in range(n_edges):
+        size = draw(st.integers(2, min(4, n)))
+        members = draw(
+            st.sets(st.integers(0, n - 1), min_size=size, max_size=size)
+        )
+        edges.append(Hyperedge(f"e{i}", frozenset(members)))
+    return Hypergraph(n, tuple(edges))
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_hypergraphs())
+def test_matches_brute_force(h):
+    cut = minimal_hyperedge_cut(h, 0, h.n_nodes - 1)
+    assert cut.weight == brute_force_cut(h, 0, h.n_nodes - 1)
+    # the returned cut really disconnects the terminals
+    assert not h.connected(0, h.n_nodes - 1, cut.cut)

@@ -1,0 +1,146 @@
+"""Tests for guard-context subscript normalization."""
+
+import pytest
+
+from repro.lang import ProgramBuilder, render
+from repro.lang.affine import Affine
+from repro.lang.analysis import refs_of_array
+from repro.transforms.normalize import normalize_guard_contexts
+from repro.transforms.verify import verify_equivalent
+
+
+def _subs_of(program, array):
+    reads, writes = [], []
+    for s in program.body:
+        r, w = refs_of_array(s, array)
+        reads += r
+        writes += w
+    return {ref.index for ref in reads + writes}
+
+
+class TestEqualityPins:
+    def test_then_branch_of_eq(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        a = b.array("a", ("N", "N"), output=True)
+        with b.loop("j", 0, "N") as j:
+            with b.loop("i", 0, "N") as i:
+                with b.if_(j.eq(3)):
+                    b.assign(a[i, 3], 1.0)
+                with b.else_():
+                    b.assign(a[i, j], 2.0)
+        p = b.build()
+        out = normalize_guard_contexts(p)
+        # a[i, 3] inside j==3 became a[i, j]
+        assert _subs_of(out, "a") == {(Affine.var("i"), Affine.var("j"))}
+        verify_equivalent(p, out, sizes=(4, 8))
+
+    def test_ne_pins_else(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        a = b.array("a", "N", output=True)
+        with b.loop("i", 0, "N") as i:
+            with b.if_(i.ne(2)):
+                b.assign(a[i], 1.0)
+            with b.else_():
+                b.assign(a[2], 5.0)
+        p = b.build()
+        out = normalize_guard_contexts(p)
+        assert _subs_of(out, "a") == {(Affine.var("i"),)}
+        verify_equivalent(p, out)
+
+
+class TestRangeCollapse:
+    def test_else_of_le_collapses_to_upper(self):
+        """The Figure 6 pattern: else of j <= N-2 inside [1, N) pins j=N-1."""
+        b = ProgramBuilder("p", params={"N": 8})
+        a = b.array("a", ("N", "N"), output=True)
+        N = b.sym("N")
+        with b.loop("j", 1, "N") as j:
+            with b.loop("i", 0, "N") as i:
+                with b.if_(j <= N - 2):
+                    b.assign(a[i, j], 1.0)
+                with b.else_():
+                    b.assign(a[i, N - 1], 9.0)
+        p = b.build()
+        out = normalize_guard_contexts(p)
+        assert _subs_of(out, "a") == {(Affine.var("i"), Affine.var("j"))}
+        verify_equivalent(p, out, sizes=(3, 6, 8))
+
+    def test_then_of_le_at_lower(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        a = b.array("a", "N", output=True)
+        with b.loop("i", 1, "N") as i:
+            with b.if_(i <= 1):
+                b.assign(a[1], 7.0)
+            with b.else_():
+                b.assign(a[i], 1.0)
+        p = b.build()
+        out = normalize_guard_contexts(p)
+        assert _subs_of(out, "a") == {(Affine.var("i"),)}
+        verify_equivalent(p, out)
+
+    def test_ge_pins_upper_edge(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        a = b.array("a", "N", output=True)
+        N = b.sym("N")
+        with b.loop("i", 0, "N") as i:
+            with b.if_(i >= N - 1):
+                b.assign(a[N - 1], 3.0)
+            with b.else_():
+                b.assign(a[i], 1.0)
+        p = b.build()
+        out = normalize_guard_contexts(p)
+        assert _subs_of(out, "a") == {(Affine.var("i"),)}
+        verify_equivalent(p, out)
+
+    def test_wide_range_not_pinned(self):
+        """A guard covering several values must not rewrite anything."""
+        b = ProgramBuilder("p", params={"N": 8})
+        a = b.array("a", "N", output=True)
+        with b.loop("i", 0, "N") as i:
+            with b.if_(i <= 4):
+                b.assign(a[2], a[2] + 1.0)
+            with b.else_():
+                b.assign(a[i], 1.0)
+        p = b.build()
+        out = normalize_guard_contexts(p)
+        assert out is p  # untouched
+
+
+class TestEndToEnd:
+    def test_fig6_normalization(self):
+        from repro.programs import fig6_fused
+
+        p = fig6_fused(8)
+        out = normalize_guard_contexts(p)
+        text = render(out)
+        assert "b[i, N - 1]" not in text
+        assert "a[i, N - 1]" not in text
+        verify_equivalent(p, out, sizes=(2, 4, 8))
+
+    def test_idempotent(self):
+        from repro.programs import fig6_fused
+
+        once = normalize_guard_contexts(fig6_fused(8))
+        assert normalize_guard_contexts(once) is once
+
+    def test_no_guards_identity(self):
+        from tests.helpers import simple_stream_program
+
+        p = simple_stream_program()
+        assert normalize_guard_contexts(p) is p
+
+    def test_conjunction_pins_both(self):
+        b = ProgramBuilder("p", params={"N": 8})
+        a = b.array("a", ("N", "N"), output=True)
+        from repro.lang.affine import And
+
+        with b.loop("j", 0, "N") as j:
+            with b.loop("i", 0, "N") as i:
+                with b.if_(And((j.eq(1), i.eq(2)))):
+                    b.assign(a[2, 1], 4.0)
+                with b.else_():
+                    b.assign(a[i, j], a[i, j] + 0.0)
+        p = b.build()
+        out = normalize_guard_contexts(p)
+        assert _subs_of(out, "a") == {(Affine.var("i"), Affine.var("j"))}
+        verify_equivalent(p, out, sizes=(4, 8))

@@ -1,0 +1,185 @@
+"""Mutation tests for the equivalence oracle.
+
+The transformation pipeline's safety rests on the verifier: if a rewrite
+is wrong, `verify_equivalent` must say so. Each test below constructs a
+*plausible-looking but wrong* variant of a real transformation output —
+the bug classes a storage/fusion pass could realistically have — and
+asserts the oracle rejects it. (The correct counterpart is accepted in
+each case, so these are genuine discriminations, not trivial failures.)
+"""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.lang import ProgramBuilder, parse, render
+from repro.transforms import is_equivalent, verify_equivalent
+
+from tests.helpers import two_loop_chain
+
+
+def mutate(program, old: str, new: str):
+    """Textual mutation through the parser (keeps everything else equal)."""
+    text = render(program)
+    assert old in text, f"mutation anchor {old!r} not found"
+    return parse(text.replace(old, new))
+
+
+class TestShrinkingBugs:
+    def base(self, n=24):
+        b = ProgramBuilder("p", params={"N": n})
+        t = b.array("t", "N")
+        d = b.array("d", "N")
+        s = b.scalar("s", output=True)
+        with b.loop("i", 1, "N") as i:
+            b.assign(t[i], d[i] * 1.5)
+            b.assign(s, s + t[i] + t[i - 1] * 0.25)
+        return b.build()
+
+    def test_correct_shrink_accepted(self):
+        from repro.transforms import shrink_array
+
+        p = self.base()
+        out = shrink_array(p, "t")
+        # distance-1 read at i=1 touches t[0]'s initial value -> must fail!
+        assert not is_equivalent(p, out, sizes=(4, 8))
+
+    def grid_program(self, n=12):
+        """2-D carried pattern: the shrink buffer stays indexed by i."""
+        b = ProgramBuilder("q", params={"N": n})
+        t = b.array("t", ("N", "N"))
+        s = b.scalar("s", output=True)
+        with b.loop("j", 0, "N") as j:
+            with b.loop("i", 0, "N") as i:
+                b.read(t[i, j])
+                with b.if_(j >= 1):
+                    b.assign(s, s + t[i, j] + t[i, j - 1] * 0.25)
+                with b.else_():
+                    b.assign(s, s + t[i, j])
+        return b.build()
+
+    def test_off_by_one_buffer_copy(self):
+        """A shrink whose carry copy lands at the wrong slot."""
+        from repro.transforms import shrink_array
+
+        p = self.grid_program()
+        good = shrink_array(p, "t")
+        verify_equivalent(p, good, sizes=(4, 8))
+        # sabotage: read the wrong carry slot (a fixed slot instead of i)
+        bad = mutate(good, "s = ((s + _tcur) + (_tbuf[i] * 0.25))",
+                     "s = ((s + _tcur) + (_tbuf[0] * 0.25))")
+        assert not is_equivalent(p, bad, sizes=(4, 8))
+
+    def test_dropped_carry_copy(self):
+        from repro.transforms import shrink_array
+
+        p = self.grid_program()
+        good = shrink_array(p, "t")
+        verify_equivalent(p, good, sizes=(4, 8))
+        harmless = mutate(good, "_tbuf[i] = _tcur", "_tbuf[i] = (_tcur * 1)")
+        verify_equivalent(p, harmless, sizes=(4, 8))
+        # truly drop the copy's effect:
+        broken = mutate(good, "_tbuf[i] = _tcur", "_tbuf[i] = (_tcur * 0)")
+        assert not is_equivalent(p, broken, sizes=(4, 8))
+
+
+class TestStoreEliminationBugs:
+    def test_eliminating_live_store_rejected(self):
+        """Removing a store whose array IS read later must be caught."""
+        p = two_loop_chain(n=24)  # tmp produced in loop 0, read in loop 1
+        bad = mutate(p, "tmp[i] = (src[i] * 2)", "tmp[i] = (tmp[i] * 1)")
+        assert not is_equivalent(p, bad)
+
+    def test_forwarding_wrong_value(self):
+        from repro.programs import fig7_original
+        from repro.transforms import eliminate_stores
+        from repro.fusion import Partitioning, apply_partitioning
+
+        p = fig7_original(64)
+        fused = apply_partitioning(p, Partitioning.of([{0, 1}]))
+        good = eliminate_stores(fused)
+        verify_equivalent(p, good)
+        bad = mutate(good, "(res[i] + data[i])", "(res[i] + (data[i] * 1.0001))")
+        assert not is_equivalent(p, bad)
+
+
+class TestFusionBugs:
+    def test_reversed_dependence_order(self):
+        """Fusing in the wrong statement order (consumer before producer)."""
+        p = two_loop_chain(n=24)
+        b = ProgramBuilder("bad", params={"N": 24})
+        src = b.array("src", "N")
+        tmp = b.array("tmp", "N")
+        s = b.scalar("sum", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.assign(s, s + tmp[i])  # consumer FIRST: reads stale tmp
+            b.assign(tmp[i], src[i] * 2.0)
+        assert not is_equivalent(p, b.build())
+
+    def test_correct_fusion_accepted(self):
+        from repro.fusion import Partitioning, apply_partitioning
+
+        p = two_loop_chain(n=24)
+        fused = apply_partitioning(p, Partitioning.of([{0, 1}]))
+        verify_equivalent(p, fused)
+
+
+class TestRegroupingBugs:
+    def test_swapped_slots_rejected(self):
+        from repro.transforms import regroup_arrays
+
+        b = ProgramBuilder("k", params={"N": 24})
+        x = b.array("x", "N")
+        y = b.array("y", "N")
+        s = b.scalar("s", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.assign(s, s + x[i] - y[i])
+        p = b.build()
+        good = regroup_arrays(p, ("x", "y"))
+        verify_equivalent(p, good)
+        # sabotage: read the slots crossed (x<->y) — initial values differ,
+        # and subtraction is order-sensitive.
+        bad = mutate(good, "(s + x_y_pk[i, 0]) - x_y_pk[i, 1]",
+                     "(s + x_y_pk[i, 1]) - x_y_pk[i, 0]")
+        assert not is_equivalent(p, bad)
+
+
+class TestNormalizationBugs:
+    def test_wrong_pin_rejected(self):
+        """Substituting a constant subscript with the variable under a
+        guard that does NOT pin it must fail."""
+        b = ProgramBuilder("p", params={"N": 12})
+        a = b.array("a", ("N", "N"))
+        s = b.scalar("s", output=True)
+        with b.loop("j", 1, "N") as j:
+            with b.loop("i", 0, "N") as i:
+                with b.if_(j <= 4):  # j in [1,4]: NOT pinned
+                    b.assign(s, s + a[i, 1])
+        p = b.build()
+        bad = mutate(p, "a[i, 1]", "a[i, j]")
+        assert not is_equivalent(p, bad, sizes=(8, 12))
+
+    def test_normalizer_does_not_make_that_mistake(self):
+        from repro.transforms import normalize_guard_contexts
+
+        b = ProgramBuilder("p", params={"N": 12})
+        a = b.array("a", ("N", "N"))
+        s = b.scalar("s", output=True)
+        with b.loop("j", 1, "N") as j:
+            with b.loop("i", 0, "N") as i:
+                with b.if_(j <= 4):
+                    b.assign(s, s + a[i, 1])
+        p = b.build()
+        assert normalize_guard_contexts(p) is p
+
+
+class TestTilingBugs:
+    def test_wrong_tile_base_rejected(self):
+        from repro.programs import matmul
+        from repro.transforms import tile_nest
+
+        p = matmul(8)
+        tiled = tile_nest(p, 0, {"k": 4}, order=["k_t", "j", "k", "i"])
+        verify_equivalent(p, tiled, params_list=[{"N": 8}])
+        # sabotage: shift the inner tile window by one
+        bad = mutate(tiled, "for k = 4*k_t, 4*k_t + 4", "for k = 4*k_t + 1, 4*k_t + 5")
+        assert not is_equivalent(p, bad, params_list=[{"N": 8}])

@@ -1,0 +1,235 @@
+"""Parser and printer tests, including the round-trip property."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.lang import ProgramBuilder, call, parse, render
+from repro.lang.expr import BinOp, Call, Const, IndexValue, UnaryOp
+from repro.lang.stmt import Assign, ExternalRead, If, Loop
+
+from tests.helpers import simple_stream_program, two_loop_chain
+
+
+class TestParseBasics:
+    def test_minimal(self):
+        p = parse("program p()\nscalar s out\ns = 1\n")
+        assert p.name == "p"
+        assert p.output_scalars == ("s",)
+
+    def test_params(self):
+        p = parse("program p(N=4, M=8)\nscalar s\ns = 0\n")
+        assert p.params == {"N": 4, "M": 8}
+
+    def test_array_decl_dtype_and_out(self):
+        p = parse(
+            "program p(N=4)\narray a[N] float32 out\nscalar s\n"
+            "for i = 0, N {\n  a[i] = 1\n}\n"
+        )
+        from repro.lang.types import DType
+
+        assert p.array("a").dtype is DType.FLOAT32
+        assert "a" in p.outputs
+
+    def test_scalar_initial(self):
+        p = parse("program p()\nscalar s = 2.5 out\ns = s + 1\n")
+        assert p.scalar("s").initial == 2.5
+
+    def test_negative_initial(self):
+        p = parse("program p()\nscalar s = -1.5\ns = s + 1\n")
+        assert p.scalar("s").initial == -1.5
+
+    def test_read_array_and_scalar(self):
+        p = parse(
+            "program p(N=4)\narray a[N]\nscalar t\n"
+            "for i = 0, N {\n  read(a[i])\n  read(t)\n}\n"
+        )
+        loop = p.top_level_loops()[0]
+        assert isinstance(loop.body[0], ExternalRead)
+        assert isinstance(loop.body[1], ExternalRead)
+
+    def test_if_else(self):
+        p = parse(
+            "program p(N=8)\nscalar s out\n"
+            "for i = 0, N {\n  if i <= N - 2 {\n    s = s + 1\n  } else {\n"
+            "    s = s + 2\n  }\n}\n"
+        )
+        guard = p.top_level_loops()[0].body[0]
+        assert isinstance(guard, If)
+        assert guard.orelse
+
+    def test_and_condition(self):
+        p = parse(
+            "program p(N=8)\nscalar s out\n"
+            "for i = 0, N {\n  if i >= 1 and i < N - 1 {\n    s = s + 1\n  }\n}\n"
+        )
+        guard = p.top_level_loops()[0].body[0]
+        assert len(guard.cond.parts) == 2
+
+    def test_intrinsic_call(self):
+        p = parse(
+            "program p(N=4)\narray a[N] out\narray b[N]\n"
+            "for i = 0, N {\n  a[i] = f(b[i], 2.0)\n}\n"
+        )
+        stmt = p.top_level_loops()[0].body[0]
+        assert isinstance(stmt.rhs, Call)
+
+    def test_min_max_abs(self):
+        p = parse(
+            "program p(N=4)\narray a[N] out\n"
+            "for i = 0, N {\n  a[i] = min(a[i], 1) + max(a[i], 0) + abs(a[i])\n}\n"
+        )
+        refs = list(p.walk())
+        assert refs  # parsed fine
+
+    def test_idx_value(self):
+        p = parse(
+            "program p(N=4)\narray a[N] out\n"
+            "for i = 0, N {\n  a[i] = idx(i + 1) * 0.5\n}\n"
+        )
+        stmt = p.top_level_loops()[0].body[0]
+        assert any(isinstance(n, IndexValue) for n in stmt.rhs.walk())
+
+    def test_comments_and_blank_lines(self):
+        p = parse(
+            "# a comment\nprogram p(N=4)\n\narray a[N] out\n"
+            "for i = 0, N {\n  # inner comment\n  a[i] = 1\n}\n"
+        )
+        assert p.name == "p"
+
+    def test_multichar_affine_subscripts(self):
+        p = parse(
+            "program p(N=8)\narray a[N, N] out\n"
+            "for i = 1, N - 1 {\n  for j = 1, N {\n    a[i, j] = a[i - 1, j - 1] + 1\n  }\n}\n"
+        )
+        from repro.lang import array_refs
+
+        stmt = list(p.walk())[-1]
+        read = array_refs(stmt.rhs)[0]
+        assert read.index[0].const == -1
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "program p(\n",  # unterminated params
+            "program p()\nfor i = 0, N {\n",  # unterminated block
+            "program p()\nscalar s\ns = *\n",  # bad expression
+            "program p()\nscalar s\ns = unknownfn(1)\n",  # unknown function
+            "program p(N=4)\narray a[N]\nfor i = 0 N { a[i] = 1 }\n",  # missing comma
+            "banana\n",  # not a program
+            "program p()\nscalar s\nif 1 << 2 { s = 1 }\n",  # bad operator
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+    def test_error_has_location(self):
+        try:
+            parse("program p()\nscalar s\ns = @\n")
+        except ParseError as exc:
+            assert exc.line == 3
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_float_in_affine_rejected(self):
+        with pytest.raises(ParseError):
+            parse("program p(N=4)\narray a[N]\nfor i = 0, N {\n  a[i + 0.5] = 1\n}\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "program",
+        [
+            simple_stream_program(),
+            two_loop_chain(),
+        ],
+        ids=["stream", "chain"],
+    )
+    def test_simple_programs(self, program):
+        text = render(program)
+        assert render(parse(text)) == text
+
+    def test_paper_programs_roundtrip(self):
+        from repro.programs import (
+            fig4_program,
+            fig6_fused,
+            fig6_optimized,
+            fig6_original,
+            fig7_original,
+            sec21_program,
+        )
+
+        for prog in (
+            sec21_program(16),
+            fig4_program(16),
+            fig6_original(8),
+            fig6_fused(8),
+            fig6_optimized(8),
+            fig7_original(16),
+        ):
+            text = render(prog)
+            reparsed = parse(text)
+            assert render(reparsed) == text
+            assert reparsed.params == dict(prog.params)
+            assert reparsed.outputs == prog.outputs
+
+    def test_workload_programs_roundtrip(self):
+        from repro.programs import convolution, dmxpy, matmul, matmul_blocked, sweep3d
+
+        for prog in (
+            convolution(32),
+            dmxpy(32, 4),
+            matmul(12),
+            matmul_blocked(12, 4),
+            sweep3d(8),
+        ):
+            text = render(prog)
+            assert render(parse(text)) == text
+
+    def test_roundtrip_preserves_semantics(self):
+        from repro.interp import evaluate
+        from repro.programs import fig6_fused
+
+        prog = fig6_fused(6)
+        reparsed = parse(render(prog))
+        a = evaluate(prog, {"N": 6})
+        b = evaluate(reparsed, {"N": 6})
+        assert a.scalars == b.scalars
+
+
+# -- property-based round-trip on random straight-line programs --------------
+
+exprs = st.deferred(
+    lambda: st.one_of(
+        st.floats(min_value=-4, max_value=4, allow_nan=False).map(Const),
+        st.builds(
+            BinOp,
+            st.sampled_from(["+", "-", "*"]),
+            exprs,
+            exprs,
+        ),
+        st.builds(UnaryOp, st.just("-"), exprs),
+    )
+)
+
+
+@given(exprs)
+def test_expression_roundtrip(expr):
+    """Any constant expression the printer emits parses back equal-valued."""
+    from repro.lang.printer import render_expr
+
+    source = (
+        "program p()\nscalar s out\ns = " + render_expr(expr) + "\n"
+    )
+    reparsed = parse(source)
+    stmt = reparsed.body[0]
+    from repro.interp.evaluator import Evaluator
+
+    ev = Evaluator(reparsed)
+    got = ev._eval(stmt.rhs, {})
+    want = ev._eval(expr, {})
+    assert got == want or (got != got and want != want)

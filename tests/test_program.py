@@ -1,0 +1,196 @@
+"""Tests for the Program container and its validation."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.lang import ProgramBuilder
+from repro.lang.affine import Affine
+from repro.lang.expr import ArrayRef, Const, ScalarRef
+from repro.lang.program import Program
+from repro.lang.stmt import Assign, Loop
+from repro.lang.types import ArrayDecl, ScalarDecl, make_shape
+
+from tests.helpers import reduction_program, simple_stream_program
+
+
+def loop_over(var, upper, body):
+    return Loop(var, Affine.const_of(0), Affine.of(upper), tuple(body))
+
+
+class TestValidation:
+    def test_duplicate_declaration(self):
+        with pytest.raises(IRError, match="duplicate"):
+            Program(
+                "p",
+                arrays=(ArrayDecl("x", make_shape(4)),),
+                scalars=(ScalarDecl("x"),),
+            )
+
+    def test_param_collision(self):
+        with pytest.raises(IRError, match="collides"):
+            Program("p", params={"a": 1}, arrays=(ArrayDecl("a", make_shape(4)),))
+
+    def test_undeclared_output(self):
+        with pytest.raises(IRError, match="not declared"):
+            Program("p", outputs=frozenset({"ghost"}))
+
+    def test_unbound_loop_bound(self):
+        body = (loop_over("i", "M", [Assign(ScalarRef("s"), Const(1.0))]),)
+        with pytest.raises(IRError, match="unbound"):
+            Program("p", params={"N": 4}, scalars=(ScalarDecl("s"),), body=body)
+
+    def test_undeclared_array(self):
+        body = (loop_over("i", "N", [Assign(ArrayRef("a", (Affine.var("i"),)), Const(1.0))]),)
+        with pytest.raises(IRError, match="undeclared array"):
+            Program("p", params={"N": 4}, body=body)
+
+    def test_undeclared_scalar(self):
+        body = (Assign(ScalarRef("s"), Const(1.0)),)
+        with pytest.raises(IRError, match="undeclared scalar"):
+            Program("p", body=body)
+
+    def test_rank_mismatch(self):
+        body = (
+            loop_over("i", "N", [Assign(ArrayRef("a", (Affine.var("i"),)), Const(1.0))]),
+        )
+        with pytest.raises(IRError, match="rank"):
+            Program(
+                "p",
+                params={"N": 4},
+                arrays=(ArrayDecl("a", make_shape("N", "N")),),
+                body=body,
+            )
+
+    def test_unbound_subscript(self):
+        body = (
+            loop_over("i", "N", [Assign(ArrayRef("a", (Affine.var("j"),)), Const(1.0))]),
+        )
+        with pytest.raises(IRError, match="unbound"):
+            Program(
+                "p",
+                params={"N": 4},
+                arrays=(ArrayDecl("a", make_shape("N")),),
+                body=body,
+            )
+
+    def test_shadowing_rejected(self):
+        inner = loop_over("i", "N", [Assign(ScalarRef("s"), Const(1.0))])
+        outer = loop_over("i", "N", [inner])
+        with pytest.raises(IRError, match="shadows"):
+            Program("p", params={"N": 4}, scalars=(ScalarDecl("s"),), body=(outer,))
+
+
+class TestAccessors:
+    def test_lookups(self):
+        p = simple_stream_program()
+        assert p.array("a").name == "a"
+        assert p.has_array("b")
+        assert not p.has_array("zzz")
+        with pytest.raises(IRError):
+            p.array("zzz")
+        with pytest.raises(IRError):
+            p.scalar("zzz")
+
+    def test_outputs(self):
+        p = simple_stream_program()
+        assert p.output_arrays == ("a",)
+        r = reduction_program()
+        assert r.output_scalars == ("sum",)
+        assert r.output_arrays == ()
+
+    def test_bind_params(self):
+        p = simple_stream_program(n=64)
+        assert p.bind_params(None) == {"N": 64}
+        assert p.bind_params({"N": 8}) == {"N": 8}
+        with pytest.raises(IRError):
+            p.bind_params({"M": 3})
+
+    def test_data_bytes(self):
+        p = simple_stream_program(n=64)
+        assert p.data_bytes() == 2 * 64 * 8
+        assert p.data_bytes({"N": 10}) == 160
+
+    def test_top_level_loops(self):
+        p = reduction_program()
+        assert len(p.top_level_loops()) == 1
+
+
+class TestDerivation:
+    def test_with_body_revalidates(self):
+        p = simple_stream_program()
+        bad = (Assign(ScalarRef("ghost"), Const(1.0)),)
+        with pytest.raises(IRError):
+            p.with_body(bad)
+
+    def test_with_name(self):
+        assert simple_stream_program().with_name("other").name == "other"
+
+    def test_adding_and_dropping(self):
+        p = reduction_program()
+        p2 = p.adding_array(ArrayDecl("extra", make_shape("N")))
+        assert p2.has_array("extra")
+        p3 = p2.dropping_arrays({"extra"})
+        assert not p3.has_array("extra")
+
+    def test_dropping_used_array_fails(self):
+        p = reduction_program()
+        with pytest.raises(IRError):
+            p.dropping_arrays({"a"})
+
+    def test_str_renders(self):
+        text = str(simple_stream_program())
+        assert "program stream" in text
+        assert "for i = 0, N {" in text
+
+
+class TestBuilder:
+    def test_unclosed_loop(self):
+        b = ProgramBuilder("p", params={"N": 4})
+        a = b.array("a", "N")
+        cm = b.loop("i", 0, "N")
+        i = cm.__enter__()
+        b.assign(a[i], 1.0)
+        # never exited
+        with pytest.raises(IRError):
+            b._frames.append([])  # simulate imbalance
+            b.build()
+
+    def test_else_requires_if(self):
+        b = ProgramBuilder("p", params={"N": 4})
+        s = b.scalar("s")
+        with pytest.raises(IRError):
+            with b.else_():
+                b.assign(s, 1.0)
+
+    def test_double_build_rejected(self):
+        b = ProgramBuilder("p")
+        b.scalar("s")
+        b.assign(ScalarRef("s"), 1.0)
+        b.build()
+        with pytest.raises(IRError):
+            b.build()
+
+    def test_subscript_arity_checked(self):
+        b = ProgramBuilder("p", params={"N": 4})
+        a = b.array("a", ("N", "N"))
+        with pytest.raises(IRError):
+            with b.loop("i", 0, "N") as i:
+                b.assign(a[i], 1.0)
+
+    def test_param_and_sym(self):
+        b = ProgramBuilder("p")
+        n = b.param("N", 16)
+        assert str(n) == "N"
+        assert str(b.sym("N") - 1) == "N - 1"
+        with pytest.raises(IRError):
+            b.sym("M")
+
+    def test_accumulate(self):
+        b = ProgramBuilder("p", params={"N": 4})
+        a = b.array("a", "N")
+        s = b.scalar("sum", output=True)
+        with b.loop("i", 0, "N") as i:
+            b.accumulate(s, a[i])
+        p = b.build()
+        stmt = p.top_level_loops()[0].body[0]
+        assert str(stmt.rhs).startswith("(sum +")

@@ -1,0 +1,120 @@
+"""Tests for the report tables, experiment config, and remaining helpers."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import Table, fmt
+
+
+class TestFmt:
+    def test_float_rounding(self):
+        assert fmt(3.14159) == "3.14"
+        assert fmt(3.14159, digits=3) == "3.142"
+
+    def test_zero_and_large(self):
+        assert fmt(0.0) == "0"
+        assert fmt(1234567.0) == "1,234,567"
+
+    def test_non_float_passthrough(self):
+        assert fmt("abc") == "abc"
+        assert fmt(42) == "42"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("title", ("name", "value"))
+        t.add("alpha", 1.5)
+        t.add("much_longer_name", 123456.0)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert lines[1] == "====="
+        assert all(len(line) == len(lines[2]) for line in lines[2:4])
+
+    def test_wrong_arity(self):
+        t = Table("t", ("a", "b"))
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_note(self):
+        t = Table("t", ("a",))
+        t.add(1)
+        t.note = "hello"
+        assert "note: hello" in t.render()
+
+    def test_numeric_right_aligned(self):
+        t = Table("t", ("name", "v"))
+        t.add("x", 1.0)
+        t.add("yy", 100.0)
+        lines = t.render().splitlines()
+        assert lines[-1].endswith("100.00")
+        assert lines[-2].rstrip().endswith("1.00")
+
+
+class TestExperimentConfig:
+    def test_default_machines(self):
+        cfg = ExperimentConfig()
+        assert cfg.origin.name.startswith("Origin2000/")
+        assert cfg.exemplar.name.startswith("Exemplar/")
+
+    def test_stream_elements_scale(self):
+        big = ExperimentConfig(scale=64).stream_elements()
+        small = ExperimentConfig(scale=128).stream_elements()
+        assert big == 2 * small
+
+    def test_stream_elements_exceed_cache(self):
+        cfg = ExperimentConfig()
+        last = cfg.origin.cache_levels[-1].geometry.size_bytes
+        assert cfg.stream_elements() * 8 >= cfg.array_cache_factor * last
+
+    def test_grid_side_multiple_of_30(self):
+        for scale in (64, 128, 256):
+            side = ExperimentConfig(scale=scale).grid_side()
+            assert side % 30 == 0
+            assert side >= 120
+
+    def test_mm_side_divisible_by_tiles(self):
+        side = ExperimentConfig().mm_side()
+        assert side % 30 == 0 or side % 10 == 0
+
+    def test_fft_elements_power_of_two(self):
+        n = ExperimentConfig().fft_elements()
+        assert n & (n - 1) == 0
+
+    def test_exemplar_kernel_spacing_is_conflict_period_five(self):
+        cfg = ExperimentConfig()
+        cache = cfg.exemplar.cache_levels[-1].geometry.size_bytes
+        spacing = cfg.exemplar_kernel_elements() * 8
+        assert (5 * spacing) % cache == 0
+        assert spacing % cache != 0
+
+
+class TestMemoryBytesEstimate:
+    def test_estimate(self):
+        from repro.fusion import FusionGraph, Partitioning, memory_bytes_estimate
+
+        g = FusionGraph.build([{"a", "b"}, {"b"}])
+        sizes = {"a": 100, "b": 10}
+        singles = Partitioning.singletons(2)
+        fused = Partitioning.of([{0, 1}])
+        assert memory_bytes_estimate(g, singles, sizes) == 100 + 10 + 10
+        assert memory_bytes_estimate(g, fused, sizes) == 110
+
+
+class TestCountLeafStatements:
+    def test_counts(self):
+        from repro.lang.analysis import count_leaf_statements
+        from repro.programs import fig6_fused
+
+        loop = fig6_fused(8).body[1]
+        # read, f-assign, then-branch sum, else-branch g-assign + sum
+        assert count_leaf_statements(loop) == 5
+
+
+class TestPresetRegistry:
+    def test_presets_callable(self):
+        from repro.machine import PRESETS
+
+        for name, factory in PRESETS.items():
+            spec = factory(128)
+            assert spec.peak_flops > 0, name

@@ -1,0 +1,154 @@
+"""Tests for statements and loops."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.lang.affine import Affine, Cmp
+from repro.lang.expr import ArrayRef, Const, ScalarRef
+from repro.lang.stmt import (
+    Assign,
+    ExternalRead,
+    If,
+    Loop,
+    innermost_loops,
+    loop_vars,
+    perfect_nest,
+)
+
+
+def ref(name, *subs):
+    return ArrayRef(name, tuple(Affine.of(s) for s in subs))
+
+
+class TestAssign:
+    def test_valid_targets(self):
+        Assign(ref("a", "i"), Const(1.0))
+        Assign(ScalarRef("s"), Const(1.0))
+
+    def test_invalid_target(self):
+        with pytest.raises(IRError):
+            Assign(Const(1.0), Const(2.0))
+
+    def test_rhs_coerced(self):
+        s = Assign(ScalarRef("s"), 3)
+        assert s.rhs == Const(3.0)
+
+    def test_substituted(self):
+        s = Assign(ref("a", "i"), ref("a", Affine({"i": 1}, -1)))
+        out = s.substituted({"i": Affine.var("t")})
+        assert out.lhs.index[0] == Affine.var("t")
+        assert out.rhs.index[0] == Affine({"t": 1}, -1)
+
+
+class TestExternalRead:
+    def test_array_target(self):
+        r = ExternalRead(ref("a", "i"))
+        assert str(r) == "read(a[i])"
+
+    def test_scalar_target(self):
+        r = ExternalRead(ScalarRef("a2"))
+        assert str(r) == "read(a2)"
+
+    def test_invalid_target(self):
+        with pytest.raises(IRError):
+            ExternalRead(Const(1.0))
+
+    def test_substituted_scalar_noop(self):
+        r = ExternalRead(ScalarRef("a2"))
+        assert r.substituted({"i": Affine.var("t")}) is r
+
+
+class TestIf:
+    def cond(self):
+        return Cmp("<", Affine.var("i"), Affine.const_of(3))
+
+    def test_requires_branch(self):
+        with pytest.raises(IRError):
+            If(self.cond(), (), ())
+
+    def test_walk_covers_both_branches(self):
+        s1 = Assign(ScalarRef("x"), Const(1.0))
+        s2 = Assign(ScalarRef("y"), Const(2.0))
+        node = If(self.cond(), (s1,), (s2,))
+        walked = list(node.walk())
+        assert s1 in walked and s2 in walked
+
+    def test_substituted(self):
+        node = If(self.cond(), (Assign(ScalarRef("x"), Const(1.0)),))
+        out = node.substituted({"i": Affine({"t": 1}, 2)})
+        assert out.cond.lhs == Affine({"t": 1}, 2)
+
+
+class TestLoop:
+    def body(self):
+        return (Assign(ref("a", "i"), Const(1.0)),)
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(IRError):
+            Loop("i", Affine.const_of(0), Affine.var("N"), ())
+
+    def test_invalid_var(self):
+        with pytest.raises(IRError):
+            Loop("2i", Affine.const_of(0), Affine.var("N"), self.body())
+
+    def test_trip_count(self):
+        loop = Loop("i", Affine.const_of(2), Affine.var("N"), self.body())
+        assert loop.trip_count({"N": 10}) == 8
+        assert loop.trip_count({"N": 1}) == 0  # clamped at zero
+
+    def test_renamed(self):
+        loop = Loop("i", Affine.const_of(0), Affine.var("N"), self.body())
+        out = loop.renamed("t")
+        assert out.var == "t"
+        inner = out.body[0]
+        assert inner.lhs.index[0] == Affine.var("t")
+
+    def test_renamed_same_is_identity(self):
+        loop = Loop("i", Affine.const_of(0), Affine.var("N"), self.body())
+        assert loop.renamed("i") is loop
+
+    def test_substituted_rejects_bound_var(self):
+        loop = Loop("i", Affine.const_of(0), Affine.var("N"), self.body())
+        with pytest.raises(IRError):
+            loop.substituted({"i": Affine.var("t")})
+
+    def test_substituted_bounds(self):
+        loop = Loop("i", Affine.var("lo"), Affine.var("hi"), self.body())
+        out = loop.substituted({"lo": Affine.const_of(1), "hi": Affine.const_of(5)})
+        assert out.trip_count({}) == 4
+
+    def test_with_body(self):
+        loop = Loop("i", Affine.const_of(0), Affine.var("N"), self.body())
+        new = loop.with_body((Assign(ScalarRef("s"), Const(0.0)),))
+        assert len(new.body) == 1
+        assert isinstance(new.body[0].lhs, ScalarRef)
+
+
+class TestHelpers:
+    def nest(self):
+        inner = Loop("j", Affine.const_of(0), Affine.var("N"),
+                     (Assign(ref("a", "i", "j"), Const(1.0)),))
+        return Loop("i", Affine.const_of(0), Affine.var("N"), (inner,))
+
+    def test_loop_vars(self):
+        assert loop_vars(self.nest()) == ["i", "j"]
+
+    def test_innermost(self):
+        loops = innermost_loops(self.nest())
+        assert len(loops) == 1
+        assert loops[0].var == "j"
+
+    def test_perfect_nest(self):
+        chain = perfect_nest(self.nest())
+        assert [l.var for l in chain] == ["i", "j"]
+
+    def test_imperfect_nest_stops(self):
+        inner = Loop("j", Affine.const_of(0), Affine.var("N"),
+                     (Assign(ref("a", "i", "j"), Const(1.0)),))
+        outer = Loop(
+            "i",
+            Affine.const_of(0),
+            Affine.var("N"),
+            (Assign(ScalarRef("s"), Const(0.0)), inner),
+        )
+        assert [l.var for l in perfect_nest(outer)] == ["i"]

@@ -1,0 +1,138 @@
+"""Tests for typed fusion and size-weighted fusion."""
+
+import pytest
+
+from repro.errors import FusionError
+from repro.fusion import (
+    FusionGraph,
+    Partitioning,
+    array_weights_from_program,
+    bandwidth_cost,
+    is_legal,
+    optimal_partitioning,
+    optimal_weighted_partitioning,
+    typed_fusion,
+    weighted_bandwidth_cost,
+    weighted_two_partition_cut,
+)
+
+
+class TestTypedFusion:
+    def test_same_type_fuses(self):
+        g = FusionGraph.build([{"a"}, {"a"}, {"a"}])
+        sol = typed_fusion(g, types=["t", "t", "t"])
+        assert sol.partitioning.n_groups == 1
+
+    def test_types_separate(self):
+        g = FusionGraph.build([{"a"}, {"a"}, {"a"}])
+        sol = typed_fusion(g, types=["t", "u", "t"])
+        # loop 1 (type u) breaks the run; loop 2 rejoins type t's group
+        # only if no dependence forbids it — here none do.
+        assert sol.partitioning.group_of(0) == sol.partitioning.group_of(2)
+        assert sol.partitioning.group_of(1) != sol.partitioning.group_of(0)
+
+    def test_dependence_through_other_type_blocks_rejoin(self):
+        # 0 (t) -> 1 (u) -> 2 (t): 2 cannot rejoin 0's group because its
+        # predecessor 1 lives in a later-created group.
+        g = FusionGraph.build([{"a"}, {"b"}, {"a", "b"}], deps=[(0, 1), (1, 2)])
+        sol = typed_fusion(g, types=["t", "u", "t"])
+        assert sol.partitioning.n_groups == 3
+        assert is_legal(g, sol.partitioning)
+
+    def test_preventing_respected(self):
+        g = FusionGraph.build([{"a"}, {"a"}], preventing=[(0, 1)])
+        sol = typed_fusion(g, types=["t", "t"])
+        assert sol.partitioning.n_groups == 2
+
+    def test_default_types(self):
+        g = FusionGraph.build([{"a"}, {"b"}])
+        assert typed_fusion(g).partitioning.n_groups == 1
+
+    def test_arity_check(self):
+        g = FusionGraph.build([{"a"}, {"b"}])
+        with pytest.raises(FusionError):
+            typed_fusion(g, types=["t"])
+
+    def test_never_beats_exact(self):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        arrays = list("ABCDE")
+        for _ in range(10):
+            n = int(rng.integers(3, 6))
+            node_arrays = [
+                set(rng.choice(arrays, size=2, replace=False)) for _ in range(n)
+            ]
+            prevent = set()
+            if n > 2:
+                u, v = sorted(rng.choice(n, size=2, replace=False))
+                prevent.add((int(u), int(v)))
+            g = FusionGraph.build(node_arrays, preventing=prevent)
+            types = [int(x) for x in rng.integers(0, 2, size=n)]
+            typed = typed_fusion(g, types)
+            exact = optimal_partitioning(g)
+            assert is_legal(g, typed.partitioning)
+            assert exact.cost <= typed.cost
+
+
+class TestWeightedFusion:
+    def divergent_graph(self):
+        """Unweighted prefers cutting the shared 'big' array once; with
+        big's real size the optimizer keeps big uncut and re-loads the
+        small arrays instead."""
+        return FusionGraph.build(
+            [{"big"}, {"big", "s1", "s2"}, {"s1", "s2"}],
+            preventing=[(0, 2)],
+        )
+
+    def test_objectives_diverge(self):
+        g = self.divergent_graph()
+        unweighted = optimal_partitioning(g)
+        assert unweighted.partitioning == Partitioning.of([{0}, {1, 2}])
+        weights = {"big": 1000.0, "s1": 1.0, "s2": 1.0}
+        weighted, cost = optimal_weighted_partitioning(g, weights)
+        assert weighted == Partitioning.of([{0, 1}, {2}])
+        assert cost == pytest.approx(1004.0)
+
+    def test_unit_weights_degenerate_to_paper_objective(self):
+        g = self.divergent_graph()
+        unit = {a: 1.0 for a in g.all_arrays}
+        weighted, cost = optimal_weighted_partitioning(g, unit)
+        assert cost == optimal_partitioning(g).cost
+        assert bandwidth_cost(g, weighted) == optimal_partitioning(g).cost
+
+    def test_weighted_cost_function(self):
+        g = self.divergent_graph()
+        p = Partitioning.of([{0}, {1, 2}])
+        w = {"big": 10.0, "s1": 1.0, "s2": 2.0}
+        assert weighted_bandwidth_cost(g, p, w) == 10.0 + 13.0
+
+    def test_missing_weight(self):
+        g = self.divergent_graph()
+        with pytest.raises(FusionError):
+            weighted_bandwidth_cost(g, Partitioning.singletons(3), {"big": 1.0})
+
+    def test_weighted_cut(self):
+        g = self.divergent_graph()
+        cut = weighted_two_partition_cut(g, 0, 2, {"big": 1000.0, "s1": 1.0, "s2": 1.0})
+        assert cut == {"s1", "s2"}
+        cut_unit = weighted_two_partition_cut(g, 0, 2, {a: 1.0 for a in g.all_arrays})
+        assert cut_unit == {"big"}
+
+    def test_weights_from_program(self):
+        from tests.helpers import simple_stream_program
+
+        weights = array_weights_from_program(simple_stream_program(n=64))
+        assert weights == {"a": 512.0, "b": 512.0}
+
+    def test_fig4_unchanged_under_equal_sizes(self):
+        """The paper's Figure 4 instance keeps its optimum when weighted by
+        (equal) array sizes — the unit model is the equal-size special case."""
+        from repro.fusion import fusion_graph_from_program
+        from repro.programs import FIG4_PREVENTING, fig4_program
+
+        program = fig4_program(64)
+        g = fusion_graph_from_program(program, extra_preventing=FIG4_PREVENTING)
+        weights = array_weights_from_program(program)
+        weighted, _ = optimal_weighted_partitioning(g, weights)
+        assert weighted == optimal_partitioning(g).partitioning

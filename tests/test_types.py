@@ -1,0 +1,83 @@
+"""Tests for dtypes and declarations."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.lang.affine import Affine
+from repro.lang.types import ArrayDecl, DType, ScalarDecl, make_shape
+
+
+class TestDType:
+    def test_sizes(self):
+        assert DType.FLOAT64.size == 8
+        assert DType.FLOAT32.size == 4
+        assert DType.INT64.size == 8
+
+    def test_numpy_dtype(self):
+        import numpy as np
+
+        assert DType.FLOAT64.numpy_dtype == np.dtype("f8")
+        assert DType.FLOAT32.numpy_dtype == np.dtype("f4")
+
+    def test_str(self):
+        assert str(DType.FLOAT64) == "float64"
+
+
+class TestArrayDecl:
+    def test_basic(self):
+        d = ArrayDecl("a", make_shape("N"))
+        assert d.rank == 1
+        assert d.extents({"N": 10}) == (10,)
+        assert d.element_count({"N": 10}) == 10
+        assert d.size_bytes({"N": 10}) == 80
+
+    def test_2d(self):
+        d = ArrayDecl("m", make_shape("N", "M"))
+        assert d.rank == 2
+        assert d.size_bytes({"N": 3, "M": 4}) == 96
+
+    def test_affine_extent(self):
+        d = ArrayDecl("a", make_shape(Affine({"N": 1}, -1)))
+        assert d.extents({"N": 5}) == (4,)
+
+    def test_invalid_name(self):
+        with pytest.raises(IRError):
+            ArrayDecl("2bad", make_shape(4))
+
+    def test_empty_shape(self):
+        with pytest.raises(IRError):
+            ArrayDecl("a", ())
+
+    def test_nonpositive_extent(self):
+        d = ArrayDecl("a", make_shape("N"))
+        with pytest.raises(IRError):
+            d.extents({"N": 0})
+
+    def test_float32_bytes(self):
+        d = ArrayDecl("a", make_shape(8), DType.FLOAT32)
+        assert d.size_bytes({}) == 32
+
+    def test_str(self):
+        assert str(ArrayDecl("a", make_shape("N", 4))) == "a[N, 4]"
+
+
+class TestScalarDecl:
+    def test_basic(self):
+        s = ScalarDecl("sum", output=True, initial=1.5)
+        assert s.output
+        assert s.initial == 1.5
+
+    def test_invalid_name(self):
+        with pytest.raises(IRError):
+            ScalarDecl("bad name")
+
+    def test_str(self):
+        assert str(ScalarDecl("x", output=True)) == "x out"
+        assert str(ScalarDecl("x")) == "x"
+
+
+def test_make_shape_mixed():
+    shape = make_shape("N", 4, Affine({"N": 1}, 1))
+    assert shape[0] == Affine.var("N")
+    assert shape[1] == Affine.const_of(4)
+    assert shape[2] == Affine({"N": 1}, 1)
