@@ -8,7 +8,6 @@ sized to a fixed width, with the value printed at the bar's end.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 FULL = "█"
 PARTIAL = ("", "▏", "▎", "▍", "▌", "▋", "▊", "▉")

@@ -24,7 +24,7 @@ application's memory demand far above the machine's 0.8.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Mapping
 
 from ..balance.model import ProgramBalance, machine_balance, program_balance
 from ..interp.executor import MachineRun, execute

@@ -15,12 +15,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..fusion.hypergraph import Hyperedge, Hypergraph
 from ..fusion.mincut import minimal_hyperedge_cut
 from .report import Table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .config import ExperimentConfig
 
 
 def random_hypergraph(
@@ -81,10 +85,16 @@ def _solve_timed(hg: Hypergraph, s: int, t: int) -> tuple[float, float]:
 
 
 def run_fig5(
+    cfg: "ExperimentConfig | None" = None,
+    *,
     edge_counts: tuple[int, ...] = (8, 16, 32, 64),
     node_counts: tuple[int, ...] = (8, 32, 128, 512),
     seed: int = 7,
 ) -> Fig5Result:
+    # ``cfg`` is accepted for the uniform run_*(cfg) experiment signature;
+    # this experiment is combinatorial (mincut scaling), so machine scale
+    # does not enter.
+    del cfg
     edge_points = []
     for n_edges in edge_counts:
         hg = random_hypergraph(16, n_edges, seed + n_edges)

@@ -24,7 +24,6 @@ from ..fusion.build import fusion_graph_from_program
 from ..fusion.graph import Partitioning
 from ..interp.executor import MachineRun, execute
 from ..lang.program import Program
-from ..machine.spec import MachineSpec
 from ..programs.paper_examples import fig7_original
 from ..transforms.store_elim import eliminate_stores
 from ..transforms.verify import verify_equivalent

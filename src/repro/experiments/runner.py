@@ -17,6 +17,9 @@ import sys
 import time
 from typing import Callable
 
+from ..machine.engine import ENGINES, set_default_engine
+from ..machine.engine import simcache
+from ..machine.engine.simcache import configure_sim_cache
 from .config import ExperimentConfig
 from .e9_npcomplete import run_e9
 from .e13_replacement import run_e13
@@ -36,24 +39,25 @@ from .fig5_mincut import run_fig5
 from .fig6_storage import run_fig6
 from .fig8_store_elim import run_fig8
 
+# Every experiment has the uniform signature run_*(cfg: ExperimentConfig).
 EXPERIMENTS: dict[str, Callable] = {
-    "fig1": lambda cfg: run_fig1(cfg),
-    "fig2": lambda cfg: run_fig2(cfg),
-    "fig3": lambda cfg: run_fig3(cfg),
-    "fig4": lambda cfg: run_fig4(cfg),
-    "fig5": lambda cfg: run_fig5(),
-    "fig6": lambda cfg: run_fig6(cfg),
-    "fig8": lambda cfg: run_fig8(cfg),
-    "e9": lambda cfg: run_e9(),
-    "e10": lambda cfg: run_e10(cfg),
-    "e11": lambda cfg: run_e11(cfg),
-    "e12": lambda cfg: run_e12(cfg),
-    "e13": lambda cfg: run_e13(cfg),
-    "e14": lambda cfg: run_e14(cfg),
-    "e15": lambda cfg: run_e15(cfg),
-    "e16": lambda cfg: run_e16(cfg),
-    "e17": lambda cfg: run_e17(cfg),
-    "e18": lambda cfg: run_e18(cfg),
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig8": run_fig8,
+    "e9": run_e9,
+    "e10": run_e10,
+    "e11": run_e11,
+    "e12": run_e12,
+    "e13": run_e13,
+    "e14": run_e14,
+    "e15": run_e15,
+    "e16": run_e16,
+    "e17": run_e17,
+    "e18": run_e18,
 }
 
 
@@ -80,13 +84,38 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also render bar-chart views (the paper's Figure 3 presentation)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=["auto", *sorted(ENGINES)],
+        default="auto",
+        help="cache-simulation engine (default: auto = fastest exact engine per level)",
+    )
+    parser.add_argument(
+        "--no-sim-cache",
+        action="store_true",
+        help="disable the content-keyed simulation cache (always re-simulate)",
+    )
+    parser.add_argument(
+        "--sim-cache-dir",
+        default=simcache.DEFAULT_DIR,
+        help="directory of the persistent simulation cache (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     wanted = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     cfg = ExperimentConfig(scale=args.scale) if args.scale else ExperimentConfig()
 
-    print(f"machine scale: 1/{cfg.scale} of the paper's cache sizes\n")
+    set_default_engine(args.engine)
+    if args.no_sim_cache:
+        memo = configure_sim_cache(enabled=False)
+    else:
+        memo = configure_sim_cache(directory=args.sim_cache_dir)
+
+    print(f"machine scale: 1/{cfg.scale} of the paper's cache sizes")
+    print(f"engine: {args.engine}, sim cache: "
+          + (f"on ({args.sim_cache_dir})" if memo is not None else "off") + "\n")
     for name in wanted:
+        before = memo.counters.snapshot() if memo is not None else None
         start = time.perf_counter()
         result = EXPERIMENTS[name](cfg)
         elapsed = time.perf_counter() - start
@@ -101,7 +130,12 @@ def main(argv: list[str] | None = None) -> int:
 
             print()
             print(balance_chart(result))
-        print(f"[{name}: {elapsed:.1f}s]")
+        timing = f"[{name}: {elapsed:.1f}s"
+        if memo is not None and before is not None:
+            delta = memo.counters.since(before)
+            if delta.hits or delta.misses:
+                timing += f", sim {delta}"
+        print(timing + "]")
         print()
     return 0
 

@@ -11,7 +11,6 @@ compares actual memory traffic.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from functools import lru_cache
 

@@ -16,7 +16,7 @@ fusion-preventing edge instead).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..errors import FusionError

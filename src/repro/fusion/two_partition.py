@@ -21,7 +21,7 @@ from ..errors import FusionError
 from .cost import bandwidth_cost
 from .graph import FusionGraph, Partitioning
 from .hypergraph import Hyperedge, Hypergraph
-from .mincut import HyperCut, minimal_hyperedge_cut
+from .mincut import minimal_hyperedge_cut
 
 
 @dataclass(frozen=True)

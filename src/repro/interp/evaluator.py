@@ -14,7 +14,7 @@ two equivalent programs see identical inputs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 import numpy as np

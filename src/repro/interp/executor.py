@@ -12,7 +12,15 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from ..errors import ExecutionError
+from ..lang.printer import render
 from ..lang.program import Program
+from ..machine.engine.simcache import (
+    SimulationCache,
+    SimulationResult,
+    get_sim_cache,
+    machine_signature,
+    simulation_key,
+)
 from ..machine.hierarchy import Hierarchy
 from ..machine.layout import LayoutPolicy, MemoryLayout, build_layout
 from ..machine.spec import MachineSpec
@@ -75,6 +83,8 @@ def execute(
     warmup_passes: int = 0,
     flush: bool = True,
     validate: bool = True,
+    engine: str | None = None,
+    sim_cache: SimulationCache | bool | None = None,
 ) -> MachineRun:
     """Run ``program`` on ``machine`` and measure it.
 
@@ -87,31 +97,73 @@ def execute(
             (counted as writeback traffic, as a real timed run would pay).
         layout / layout_policy: explicit placement, or a policy override;
             default is the machine's default layout policy.
+        engine: cache-simulation engine (see :mod:`repro.machine.engine`);
+            ``None`` uses the process default, ``"auto"`` picks the fastest
+            exact engine per level, ``"reference"`` forces the Python loop.
+        sim_cache: content-keyed memo of simulation results. ``None`` uses
+            the process default (in-memory, always exact), ``False``
+            disables caching for this call, or pass an explicit
+            :class:`SimulationCache`.
     """
     bound = program.bind_params(params)
     if layout is None:
         layout = build_layout(program, bound, layout_policy or machine.default_layout)
-    gen = TraceGenerator(program, bound, layout, validate=validate)
-    trace = gen.generate()
-    if len(trace) == 0 and trace.flops == 0:
-        raise ExecutionError(f"program {program.name!r} generates no work")
 
-    hierarchy = Hierarchy.from_spec(machine)
-    for _ in range(warmup_passes):
-        hierarchy.run_trace(trace.addresses, trace.is_write)
-    if warmup_passes:
-        for cache in hierarchy.caches:
-            cache.reset_stats()
+    if sim_cache is None:
+        memo = get_sim_cache()
+    elif isinstance(sim_cache, SimulationCache):
+        memo = sim_cache
+    else:  # True -> process default, False -> disabled
+        memo = get_sim_cache() if sim_cache else None
+    key = None
+    cached = None
+    if memo is not None:
+        key = simulation_key(
+            render(program),
+            bound,
+            layout.placements,
+            machine_signature(machine),
+            passes=passes,
+            warmup_passes=warmup_passes,
+            flush=flush,
+        )
+        cached = memo.get(key)
 
-    for _ in range(passes):
-        hierarchy.run_trace(trace.addresses, trace.is_write)
-    if flush:
-        hierarchy.flush()
-    result = hierarchy.result()
+    if cached is not None:
+        result = cached.result
+        trace_flops, trace_loads, trace_stores = (
+            cached.flops,
+            cached.loads,
+            cached.stores,
+        )
+    else:
+        gen = TraceGenerator(program, bound, layout, validate=validate)
+        trace = gen.generate()
+        if len(trace) == 0 and trace.flops == 0:
+            raise ExecutionError(f"program {program.name!r} generates no work")
 
-    flops = trace.flops * passes
-    loads = trace.loads * passes
-    stores = trace.stores * passes
+        hierarchy = Hierarchy.from_spec(machine, engine)
+        for _ in range(warmup_passes):
+            hierarchy.run_trace(trace.addresses, trace.is_write)
+        if warmup_passes:
+            for cache in hierarchy.caches:
+                cache.reset_stats()
+
+        for _ in range(passes):
+            hierarchy.run_trace(trace.addresses, trace.is_write)
+        if flush:
+            hierarchy.flush()
+        result = hierarchy.result()
+        trace_flops, trace_loads, trace_stores = trace.flops, trace.loads, trace.stores
+        if memo is not None and key is not None:
+            memo.put(
+                key,
+                SimulationResult(result, trace_flops, trace_loads, trace_stores),
+            )
+
+    flops = trace_flops * passes
+    loads = trace_loads * passes
+    stores = trace_stores * passes
     counters = HardwareCounters(
         machine=machine.name,
         graduated_flops=flops,

@@ -16,7 +16,7 @@ from typing import Iterable, Sequence
 from ...errors import AnalysisError
 from ..expr import ArrayRef, ScalarRef, array_refs, scalar_refs
 from ..program import Program
-from ..stmt import Assign, ExternalRead, If, Loop, Stmt
+from ..stmt import Assign, ExternalRead, Stmt
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..affine import Affine
 from ..program import Program
 from ..stmt import Loop
 from .arrays import access_sets

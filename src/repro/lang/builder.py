@@ -24,7 +24,7 @@ from typing import Iterator, Mapping, Sequence, Union
 
 from ..errors import IRError
 from .affine import Affine, AffineLike, Cmp, Condition
-from .expr import ArrayRef, Call, Expr, ExprLike, IndexValue, ScalarRef, as_expr
+from .expr import ArrayRef, Call, ExprLike, IndexValue, ScalarRef, as_expr
 from .program import Program
 from .stmt import Assign, ExternalRead, If, Loop, Stmt
 from .types import ArrayDecl, DType, ScalarDecl

@@ -12,10 +12,9 @@ from dataclasses import dataclass, field, replace
 from typing import Iterator, Mapping, Sequence
 
 from ..errors import IRError
-from .affine import Affine
-from .expr import ArrayRef, Call, Expr, ScalarRef
+from .expr import ArrayRef
 from .stmt import Assign, ExternalRead, If, Loop, Stmt
-from .types import ArrayDecl, DType, ScalarDecl
+from .types import ArrayDecl, ScalarDecl
 
 
 @dataclass(frozen=True)

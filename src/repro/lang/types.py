@@ -9,7 +9,7 @@ result (the paper's programs ``print sum``).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np

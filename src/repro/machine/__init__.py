@@ -1,6 +1,18 @@
 """Simulated machine substrate: caches, hierarchy, layout, timing, presets."""
 
 from .cache import Cache, CacheGeometry, CacheStats
+from .engine import (
+    ENGINES,
+    DirectMappedEngine,
+    MissCurve,
+    StackDistanceEngine,
+    get_default_engine,
+    make_cache,
+    miss_curve,
+    select_engine,
+    set_default_engine,
+)
+from .engine.simcache import SimulationCache, configure_sim_cache, get_sim_cache
 from .hierarchy import Hierarchy, HierarchyResult
 from .layout import ArrayPlacement, LayoutPolicy, MemoryLayout, build_layout
 from .opt_cache import OptResult, lru_vs_opt, simulate_opt
@@ -15,23 +27,35 @@ __all__ = [
     "CacheGeometry",
     "CacheLevelSpec",
     "CacheStats",
+    "DirectMappedEngine",
+    "ENGINES",
     "Hierarchy",
     "HierarchyResult",
     "LayoutPolicy",
     "MachineSpec",
     "MissClassification",
+    "MissCurve",
     "MemoryLayout",
     "OptResult",
     "PRESETS",
+    "SimulationCache",
+    "StackDistanceEngine",
     "TimeBreakdown",
     "bandwidth_bound_time",
     "build_layout",
     "classify_misses",
+    "configure_sim_cache",
     "exemplar",
     "future_machine",
+    "get_default_engine",
+    "get_sim_cache",
     "latency_bound_time",
     "lru_vs_opt",
+    "make_cache",
+    "miss_curve",
     "origin2000",
     "overlap_time",
+    "select_engine",
+    "set_default_engine",
     "simulate_opt",
 ]

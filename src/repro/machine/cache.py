@@ -19,7 +19,7 @@ paper's footnote-3 anomaly exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -106,7 +106,10 @@ class CacheGeometry:
 
 
 class Cache:
-    """One simulated cache level."""
+    """One simulated cache level (the reference engine)."""
+
+    #: Engine registry name (see :mod:`repro.machine.engine`).
+    engine = "reference"
 
     def __init__(
         self,
@@ -138,21 +141,27 @@ class Cache:
             np.asarray([byte_addr], dtype=np.int64), np.asarray([is_write], dtype=bool)
         )
         hit = self.stats.misses == before
-        wb: int | None = None
-        for addr, w in zip(out.tolist(), out_w.tolist()):
-            if w:
-                wb = int(addr)
-        return hit, wb
+        wbs = out[out_w]
+        # A single access evicts at most one line, so it can emit at most
+        # one writeback (write-throughs of the access itself included).
+        assert len(wbs) <= 1, f"single access emitted {len(wbs)} writebacks"
+        return hit, (int(wbs[0]) if len(wbs) else None)
 
     # -- batch access (the fast path used by the hierarchy) ------------------
     def run(
-        self, byte_addrs: np.ndarray, is_write: np.ndarray
+        self,
+        byte_addrs: np.ndarray,
+        is_write: np.ndarray,
+        collect_events: bool = True,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Process an ordered address stream.
 
         Returns the ordered (byte_addrs, is_write) stream this level sends
         to the next level: miss fills appear as reads, writebacks and
         write-throughs as writes, interleaved in the order they occur.
+        ``collect_events=False`` declares that the caller will discard the
+        stream (last hierarchy level); the reference implementation builds
+        it regardless — it is the specification, not the fast path.
         """
         if len(byte_addrs) == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)

@@ -1,0 +1,113 @@
+"""Vectorized cache-simulation engines.
+
+``Cache`` (:mod:`repro.machine.cache`) is the executable specification: a
+per-access Python loop that is easy to read and audit.  The engines here
+are drop-in replacements that produce **bit-identical** counters and event
+streams while running one to two orders of magnitude faster:
+
+* :class:`DirectMappedEngine` — associativity-1 levels (the Exemplar's
+  PA-8000 data cache) via group-by-set consecutive comparisons in NumPy.
+* :class:`StackDistanceEngine` — fully-associative LRU levels via Mattson
+  stack distances; also exposes :func:`miss_curve`, the exact miss count
+  of *every* cache size from one trace pass.
+
+:func:`select_engine` picks the fastest exact engine for a level;
+``"reference"`` always means the original ``Cache``.  The reference stays
+the ground truth: :mod:`repro.machine.engine.verify` cross-checks engines
+against it on randomized traces.
+"""
+
+from __future__ import annotations
+
+from ...errors import MachineError
+from ..cache import Cache, CacheGeometry
+from .base import BaseEngine
+from .direct import DirectMappedEngine
+from .distinct import COLD, count_prior_leq, previous_occurrences, reuse_distances
+from .stack import MissCurve, StackDistanceEngine, miss_curve
+
+#: Engine name -> simulator class.  ``"auto"`` is resolved by
+#: :func:`select_engine`, not listed here.
+ENGINES = {
+    "reference": Cache,
+    "direct": DirectMappedEngine,
+    "stack": StackDistanceEngine,
+}
+
+_default_engine = "auto"
+
+
+def set_default_engine(name: str) -> None:
+    """Set the process-wide engine choice (``"auto"`` or an ENGINES key)."""
+    global _default_engine
+    if name != "auto" and name not in ENGINES:
+        raise MachineError(f"unknown engine {name!r}; choose from auto, "
+                           + ", ".join(sorted(ENGINES)))
+    _default_engine = name
+
+
+def get_default_engine() -> str:
+    return _default_engine
+
+
+def select_engine(
+    geometry: CacheGeometry,
+    write_back: bool = True,
+    write_allocate: bool = True,
+    *,
+    last_level: bool = True,
+    engine: str | None = None,
+) -> type:
+    """Resolve an engine name to a simulator class for one cache level.
+
+    ``engine=None`` uses the process default (:func:`set_default_engine`);
+    ``"auto"`` picks the fastest engine that is exact for the level:
+
+    * associativity 1 -> :class:`DirectMappedEngine` (always exact);
+    * fully-associative write-back/write-allocate *last* levels ->
+      :class:`StackDistanceEngine` (exact counters; produces no event
+      stream, hence only where nothing downstream consumes events);
+    * everything else -> the reference ``Cache``.
+    """
+    name = engine if engine is not None else _default_engine
+    if name != "auto":
+        return ENGINES[name]
+    if geometry.associativity == 1:
+        return DirectMappedEngine
+    if geometry.n_sets == 1 and write_back and write_allocate and last_level:
+        return StackDistanceEngine
+    return Cache
+
+
+def make_cache(
+    name: str,
+    geometry: CacheGeometry,
+    write_back: bool = True,
+    write_allocate: bool = True,
+    *,
+    last_level: bool = True,
+    engine: str | None = None,
+):
+    """Build a simulator for one level with :func:`select_engine`'s choice."""
+    cls = select_engine(
+        geometry, write_back, write_allocate, last_level=last_level, engine=engine
+    )
+    return cls(name, geometry, write_back, write_allocate)
+
+
+__all__ = [
+    "BaseEngine",
+    "COLD",
+    "DirectMappedEngine",
+    "ENGINES",
+    "MissCurve",
+    "StackDistanceEngine",
+    "count_prior_leq",
+    "get_default_engine",
+    "make_cache",
+    "miss_curve",
+    "previous_occurrences",
+    "reuse_distances",
+    "select_engine",
+    "set_default_engine",
+]

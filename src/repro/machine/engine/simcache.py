@@ -1,0 +1,214 @@
+"""Content-keyed simulation cache.
+
+The runner and the test suite simulate many *identical* instances: the
+same kernel, bound to the same sizes, laid out the same way, on the same
+machine.  Simulation is deterministic, so the result is a pure function
+of (program text, bound parameters, memory layout, machine spec, run
+flags).  This module memoizes that function: the key is a SHA-256 over a
+canonical rendering of all inputs, the value is the full counter set of
+the run (``HierarchyResult`` plus the trace totals the timing model
+needs).  A warm hit skips trace generation *and* cache-level simulation
+entirely.
+
+Two tiers share one interface: a process-wide in-memory dict (always
+cheap, enabled by default) and an optional on-disk store under
+``.repro_cache/`` (JSON, one file per key) that persists across
+processes — a second ``runner fig1`` performs zero simulation work.
+Entries are deep-copied on both put and get because ``CacheStats`` is
+mutable.  Any change to simulation semantics must bump
+:data:`FORMAT_VERSION` to invalidate stale entries.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..cache import CacheStats
+from ..hierarchy import HierarchyResult
+
+#: Bump when simulation semantics or the entry schema change.
+FORMAT_VERSION = 1
+
+#: Default on-disk location (relative to the working directory).
+DEFAULT_DIR = ".repro_cache"
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """The cached value: counters plus the trace totals timing needs."""
+
+    result: HierarchyResult
+    flops: int
+    loads: int
+    stores: int
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "version": FORMAT_VERSION,
+            "flops": self.flops,
+            "loads": self.loads,
+            "stores": self.stores,
+            "downstream_bytes": list(self.result.downstream_bytes),
+            "level_stats": [vars(st).copy() for st in self.result.level_stats],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "SimulationResult":
+        result = HierarchyResult(
+            tuple(CacheStats(**st) for st in data["level_stats"]),
+            tuple(int(b) for b in data["downstream_bytes"]),
+        )
+        return cls(result, int(data["flops"]), int(data["loads"]), int(data["stores"]))
+
+
+def simulation_key(
+    program_text: str,
+    params: Mapping[str, int],
+    placements: Mapping[str, Any],
+    machine_desc: str,
+    *,
+    passes: int,
+    warmup_passes: int,
+    flush: bool,
+) -> str:
+    """SHA-256 content key of one simulation instance.
+
+    The engine is deliberately *not* part of the key: engines are
+    bit-identical by contract, so a result computed by one is valid for
+    all (the equivalence harness enforces the contract).
+    """
+    parts = {
+        "version": FORMAT_VERSION,
+        "program": program_text,
+        "params": sorted((k, int(v)) for k, v in params.items()),
+        "layout": sorted(
+            (name, p.base, list(p.extents), p.element_size)
+            for name, p in placements.items()
+        ),
+        "machine": machine_desc,
+        "passes": passes,
+        "warmup_passes": warmup_passes,
+        "flush": flush,
+    }
+    blob = json.dumps(parts, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def machine_signature(spec) -> str:
+    """The machine parts that affect counters: geometry and layout policy.
+
+    Bandwidths/latencies only affect derived times, which are recomputed
+    on every run, so they stay out of the key.
+    """
+    levels = ";".join(
+        f"{lvl.name}:{lvl.geometry.size_bytes}/{lvl.geometry.line_size}"
+        f"/{lvl.geometry.associativity}"
+        for lvl in spec.cache_levels
+    )
+    pol = spec.default_layout
+    return f"{levels}|layout:{vars(pol)!r}"
+
+
+@dataclass
+class CacheCounters:
+    """Observability: how much simulation work the cache absorbed."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    disk_hits: int = 0
+
+    def snapshot(self) -> "CacheCounters":
+        return CacheCounters(self.hits, self.misses, self.puts, self.disk_hits)
+
+    def since(self, before: "CacheCounters") -> "CacheCounters":
+        return CacheCounters(
+            self.hits - before.hits,
+            self.misses - before.misses,
+            self.puts - before.puts,
+            self.disk_hits - before.disk_hits,
+        )
+
+    def __str__(self) -> str:
+        s = f"{self.hits} cached / {self.misses} simulated"
+        if self.disk_hits:
+            s += f" ({self.disk_hits} from disk)"
+        return s
+
+
+class SimulationCache:
+    """In-memory memo with an optional persistent on-disk tier."""
+
+    def __init__(self, directory: str | os.PathLike | None = None):
+        self._memory: dict[str, SimulationResult] = {}
+        self.directory = Path(directory) if directory is not None else None
+        self.counters = CacheCounters()
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> SimulationResult | None:
+        entry = self._memory.get(key)
+        if entry is None and self.directory is not None:
+            path = self._path(key)
+            try:
+                data = json.loads(path.read_text())
+                if data.get("version") == FORMAT_VERSION:
+                    entry = SimulationResult.from_json(data)
+                    self._memory[key] = entry
+                    self.counters.disk_hits += 1
+            except (OSError, ValueError, KeyError, TypeError):
+                entry = None  # missing or corrupt entry == miss
+        if entry is None:
+            self.counters.misses += 1
+            return None
+        self.counters.hits += 1
+        return copy.deepcopy(entry)
+
+    def put(self, key: str, value: SimulationResult) -> None:
+        self.counters.puts += 1
+        self._memory[key] = copy.deepcopy(value)
+        if self.directory is not None:
+            path = self._path(key)
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_suffix(".tmp")
+                tmp.write_text(json.dumps(value.to_json()))
+                os.replace(tmp, path)
+            except OSError:
+                pass  # disk tier is best-effort; memory tier already holds it
+
+    def clear(self) -> None:
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+# -- process-wide default -----------------------------------------------------
+_default: SimulationCache | None = SimulationCache()
+
+
+def get_sim_cache() -> SimulationCache | None:
+    """The process default (None when caching is disabled)."""
+    return _default
+
+
+def configure_sim_cache(
+    enabled: bool = True, directory: str | os.PathLike | None = None
+) -> SimulationCache | None:
+    """Replace the process default.
+
+    ``enabled=False`` turns memoization off entirely; a ``directory``
+    adds the persistent tier (the runner passes ``.repro_cache/``).
+    """
+    global _default
+    _default = SimulationCache(directory) if enabled else None
+    return _default

@@ -1,0 +1,127 @@
+"""Equivalence harness: engines vs. the reference ``Cache``.
+
+The load-bearing promise of the engine subsystem is *bit-identity*: an
+engine may be fast however it likes, but every ``CacheStats`` counter —
+and, for engines that emit events, the ordered downstream stream and the
+``flush()`` drain — must match the reference simulator exactly on every
+input.  This module turns that promise into a reusable randomized check;
+the property-based tests and the benchmark sanity pass both call it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cache import Cache, CacheGeometry
+
+#: CacheStats fields compared between engines.
+STAT_FIELDS = (
+    "accesses",
+    "hits",
+    "misses",
+    "read_misses",
+    "write_misses",
+    "evictions",
+    "writebacks",
+    "write_throughs",
+    "events_out",
+)
+
+
+@dataclass
+class Mismatch:
+    trial: int
+    what: str  #: "stats:<field>", "events", or "flush"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"trial {self.trial}: {self.what} — {self.detail}"
+
+
+def random_trace(
+    rng: np.random.Generator,
+    n: int,
+    n_lines: int,
+    line_size: int,
+    write_frac: float = 0.4,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A random byte-address trace over ``n_lines`` distinct lines."""
+    addrs = rng.integers(0, n_lines, n) * line_size + rng.integers(0, line_size, n)
+    return addrs.astype(np.int64), rng.random(n) < write_frac
+
+
+def compare_stats(ref, eng, trial: int = 0) -> list[Mismatch]:
+    """All counter differences between two simulators."""
+    return [
+        Mismatch(trial, f"stats:{f}", f"ref={getattr(ref.stats, f)} eng={getattr(eng.stats, f)}")
+        for f in STAT_FIELDS
+        if getattr(ref.stats, f) != getattr(eng.stats, f)
+    ]
+
+
+def check_equivalence(
+    engine_cls: type,
+    geometry: CacheGeometry,
+    write_back: bool = True,
+    write_allocate: bool = True,
+    *,
+    trials: int = 50,
+    seed: int = 0,
+    compare_events: bool = True,
+    max_batch: int = 300,
+    flush_prob: float = 0.7,
+) -> list[Mismatch]:
+    """Randomized reference-vs-engine equivalence check.
+
+    Each trial builds a fresh reference ``Cache`` and a fresh engine with
+    the same configuration, drives both with one to three random batches
+    (so persisted state between ``run`` calls is exercised), optionally
+    flushes, and compares counters — plus the ordered event stream and the
+    flush drain when ``compare_events`` is set (engines that do not emit
+    events, like the stack engine, are checked on counters and flush only).
+
+    Returns every mismatch found; an empty list means equivalent.
+    """
+    rng = np.random.default_rng(seed)
+    line = geometry.line_size
+    mismatches: list[Mismatch] = []
+    for trial in range(trials):
+        ref = Cache("L", geometry, write_back, write_allocate)
+        eng = engine_cls("L", geometry, write_back, write_allocate)
+        for _ in range(int(rng.integers(1, 4))):
+            n = int(rng.integers(0, max_batch))
+            # Spread line counts around the cache size so trials cover
+            # fits-in-cache, thrashing, and heavy-conflict regimes.
+            n_lines = int(rng.integers(1, max(2, 3 * geometry.n_lines)))
+            addrs, writes = random_trace(rng, n, n_lines, line)
+            r_out, r_w = ref.run(addrs, writes)
+            if compare_events:
+                e_out, e_w = eng.run(addrs, writes)
+                if not (np.array_equal(r_out, e_out) and np.array_equal(r_w, e_w)):
+                    mismatches.append(
+                        Mismatch(trial, "events", f"ref {len(r_out)} vs eng {len(e_out)} events")
+                    )
+            else:
+                eng.run(addrs, writes, collect_events=False)
+        if rng.random() < flush_prob:
+            r_out, r_w = ref.flush()
+            e_out, e_w = eng.flush()
+            if not (np.array_equal(r_out, e_out) and np.array_equal(r_w, e_w)):
+                mismatches.append(
+                    Mismatch(trial, "flush", f"ref {len(r_out)} vs eng {len(e_out)} lines")
+                )
+        mismatches.extend(compare_stats(ref, eng, trial))
+    return mismatches
+
+
+def assert_equivalent(engine_cls: type, geometry: CacheGeometry, **kwargs) -> None:
+    """:func:`check_equivalence`, raising ``AssertionError`` on mismatch."""
+    mismatches = check_equivalence(engine_cls, geometry, **kwargs)
+    if mismatches:
+        shown = "\n".join(str(m) for m in mismatches[:10])
+        raise AssertionError(
+            f"{engine_cls.__name__} diverged from reference Cache on "
+            f"{geometry} ({len(mismatches)} mismatches):\n{shown}"
+        )

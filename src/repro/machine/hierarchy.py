@@ -39,30 +39,65 @@ class HierarchyResult:
         )
 
 
+#: Accesses pushed through the level stack per chunk.  Chunking bounds the
+#: per-level event lists (a chunk's events are consumed by the next level
+#: before the next chunk starts), so multi-hundred-million-access traces
+#: stream in bounded memory.  Engines persist cache contents between
+#: ``run`` calls, so chunking never changes a counter.
+DEFAULT_CHUNK = 4 << 20
+
+
 class Hierarchy:
     """A stack of caches fed by element-granularity address traces."""
 
-    def __init__(self, caches: list[Cache]):
+    def __init__(self, caches: list[Cache], chunk_size: int = DEFAULT_CHUNK):
         if not caches:
             raise ValueError("hierarchy needs at least one cache")
+        if chunk_size <= 0:
+            raise ValueError("chunk size must be positive")
         self.caches = caches
+        self.chunk_size = chunk_size
 
     @classmethod
-    def from_spec(cls, spec: MachineSpec) -> "Hierarchy":
-        return cls(spec.build_caches())
+    def from_spec(
+        cls,
+        spec: MachineSpec,
+        engine: str | None = None,
+        chunk_size: int = DEFAULT_CHUNK,
+    ) -> "Hierarchy":
+        return cls(spec.build_caches(engine), chunk_size)
 
-    def run_trace(self, byte_addrs: np.ndarray, is_write: np.ndarray) -> None:
+    def _run_levels(self, addrs: np.ndarray, writes: np.ndarray) -> None:
+        last = len(self.caches) - 1
+        for i, cache in enumerate(self.caches):
+            # Nothing consumes the last level's stream; telling the engine
+            # lets it skip materializing events (counters stay exact).
+            addrs, writes = cache.run(addrs, writes, collect_events=i < last)
+
+    def run_trace(
+        self,
+        byte_addrs: np.ndarray,
+        is_write: np.ndarray,
+        chunk_size: int | None = None,
+    ) -> None:
         """Push one ordered access stream through all levels (no flush)."""
-        addrs, writes = byte_addrs, is_write
-        for cache in self.caches:
-            addrs, writes = cache.run(addrs, writes)
+        chunk = chunk_size or self.chunk_size
+        n = len(byte_addrs)
+        if n <= chunk:
+            self._run_levels(byte_addrs, is_write)
+            return
+        for start in range(0, n, chunk):
+            self._run_levels(
+                byte_addrs[start : start + chunk], is_write[start : start + chunk]
+            )
 
     def flush(self) -> None:
         """Drain dirty lines of every level down to memory."""
+        last = len(self.caches) - 1
         for i, cache in enumerate(self.caches):
             addrs, writes = cache.flush()
-            for lower in self.caches[i + 1 :]:
-                addrs, writes = lower.run(addrs, writes)
+            for j, lower in enumerate(self.caches[i + 1 :], start=i + 1):
+                addrs, writes = lower.run(addrs, writes, collect_events=j < last)
 
     def result(self) -> HierarchyResult:
         """Snapshot counters and derived traffic."""

@@ -9,14 +9,13 @@ that fixes it).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
 
 from ..errors import MachineError
 from ..lang.program import Program
-from ..lang.types import ArrayDecl
 
 
 @dataclass(frozen=True)

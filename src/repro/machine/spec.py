@@ -89,9 +89,21 @@ class MachineSpec:
         return tuple(bw / self.peak_flops for bw in self.bandwidths)
 
     # -- factories -----------------------------------------------------------
-    def build_caches(self) -> list[Cache]:
-        """Fresh simulator instances for every cache level."""
-        return [Cache(lvl.name, lvl.geometry) for lvl in self.cache_levels]
+    def build_caches(self, engine: str | None = None) -> list[Cache]:
+        """Fresh simulator instances for every cache level.
+
+        ``engine`` picks the simulator (see :mod:`repro.machine.engine`):
+        ``None`` uses the process default, ``"auto"`` selects the fastest
+        exact engine per level, ``"reference"`` forces the original
+        :class:`Cache` loop everywhere.
+        """
+        from .engine import make_cache
+
+        last = len(self.cache_levels) - 1
+        return [
+            make_cache(lvl.name, lvl.geometry, last_level=(i == last), engine=engine)
+            for i, lvl in enumerate(self.cache_levels)
+        ]
 
     def scaled(self, factor: int) -> "MachineSpec":
         """A machine with all cache sizes divided by ``factor``.

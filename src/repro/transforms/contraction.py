@@ -12,7 +12,6 @@ zero; the paper's own transforms (shrinking/peeling) generalize it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 from ..errors import TransformError

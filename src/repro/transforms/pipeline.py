@@ -16,7 +16,7 @@ and recorded, so the pipeline is safe to run on arbitrary programs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..errors import FusionError, TransformError, VerificationError

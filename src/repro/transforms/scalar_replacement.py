@@ -23,7 +23,6 @@ that loop).
 
 from __future__ import annotations
 
-from ..errors import TransformError
 from ..lang.analysis.arrays import refs_of_array
 from ..lang.expr import ArrayRef, Expr, ScalarRef, replace_array
 from ..lang.program import Program

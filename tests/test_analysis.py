@@ -1,7 +1,6 @@
 """Tests for the static analyses: access sets, dependences, distances,
 liveness, legality and static counts."""
 
-import pytest
 
 from repro.lang import ProgramBuilder
 from repro.lang.analysis import (

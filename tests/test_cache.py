@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import MachineError
-from repro.machine.cache import Cache, CacheGeometry, CacheStats
+from repro.machine.cache import Cache, CacheGeometry
 
 
 def make(size=128, line=32, assoc=2, **kw):

@@ -17,7 +17,7 @@ from repro.balance import (
     utilization_bound_from_balance,
 )
 from repro.errors import MachineError, ReproError, TransformError
-from repro.interp import evaluate, execute
+from repro.interp import execute
 from repro.lang import ProgramBuilder
 from repro.machine import (
     Cache,

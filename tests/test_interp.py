@@ -8,7 +8,7 @@ from repro.interp import Evaluator, MachineRun, evaluate, execute
 from repro.lang import ProgramBuilder, call
 from repro.machine import LayoutPolicy
 
-from tests.helpers import reduction_program, simple_stream_program, two_loop_chain
+from tests.helpers import reduction_program, simple_stream_program
 
 
 class TestEvaluatorSemantics:

@@ -1,6 +1,5 @@
 """Tests for guard-context subscript normalization."""
 
-import pytest
 
 from repro.lang import ProgramBuilder, render
 from repro.lang.affine import Affine

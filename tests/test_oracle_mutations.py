@@ -8,9 +8,7 @@ asserts the oracle rejects it. (The correct counterpart is accepted in
 each case, so these are genuine discriminations, not trivial failures.)
 """
 
-import pytest
 
-from repro.errors import VerificationError
 from repro.lang import ProgramBuilder, parse, render
 from repro.transforms import is_equivalent, verify_equivalent
 

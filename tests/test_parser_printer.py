@@ -5,9 +5,9 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import ParseError
-from repro.lang import ProgramBuilder, call, parse, render
+from repro.lang import parse, render
 from repro.lang.expr import BinOp, Call, Const, IndexValue, UnaryOp
-from repro.lang.stmt import Assign, ExternalRead, If, Loop
+from repro.lang.stmt import ExternalRead, If
 
 from tests.helpers import simple_stream_program, two_loop_chain
 

@@ -140,7 +140,7 @@ class TestHelpers:
 
     def test_perfect_nest(self):
         chain = perfect_nest(self.nest())
-        assert [l.var for l in chain] == ["i", "j"]
+        assert [lp.var for lp in chain] == ["i", "j"]
 
     def test_imperfect_nest_stops(self):
         inner = Loop("j", Affine.const_of(0), Affine.var("N"),
@@ -151,4 +151,4 @@ class TestHelpers:
             Affine.var("N"),
             (Assign(ScalarRef("s"), Const(0.0)), inner),
         )
-        assert [l.var for l in perfect_nest(outer)] == ["i"]
+        assert [lp.var for lp in perfect_nest(outer)] == ["i"]

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import MachineError, ReproError
-from repro.machine import CacheGeometry, MissClassification, classify_misses
+from repro.machine import CacheGeometry, MissClassification
 from repro.machine.three_c import classify_misses as classify
 from repro.trace import generate_trace, load_trace, save_trace
 

@@ -1,14 +1,13 @@
 """Trace-engine tests: exact address sequences, guards, imperfect nests,
 tiled bounds, and cross-validation against the reference interpreter."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ExecutionError, IRError
 from repro.lang import ProgramBuilder
 from repro.machine import LayoutPolicy, build_layout
 from repro.trace import TraceGenerator, generate_trace, trace_stats
-from repro.trace.events import EMPTY_TRACE, Trace, concat_traces
+from repro.trace.events import EMPTY_TRACE, concat_traces
 from repro.trace.stats import per_array_accesses, stride_histogram
 
 from tests.helpers import simple_stream_program
@@ -76,7 +75,7 @@ class TestExactSequences:
 
     def test_scalar_read_no_traffic(self):
         b = ProgramBuilder("p", params={"N": 3})
-        s = b.scalar("s", output=True)
+        b.scalar("s", output=True)
         from repro.lang.stmt import ExternalRead
         from repro.lang.expr import ScalarRef
 
@@ -192,7 +191,7 @@ class TestImperfectNests:
 class TestTiledLoops:
     def test_tiled_bounds(self):
         b = ProgramBuilder("p", params={"N": 8})
-        a = b.array("a", "N", output=True)
+        b.array("a", "N", output=True)
         from repro.lang.affine import Affine
         from repro.lang.stmt import Assign, Loop
         from repro.lang.expr import ArrayRef, Const
