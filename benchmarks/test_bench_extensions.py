@@ -9,11 +9,11 @@ def test_bench_e13_replacement(benchmark, cfg):
     result = once(benchmark, lambda: run_e13(cfg))
     print()
     print(result.table().render())
-    for row in result.rows:
+    for row in result.detail.rows:
         assert row.opt_bytes <= row.lru_bytes
     fig7 = result.row("fig7")
     assert fig7.compiler_gain > fig7.opt_gain
-    benchmark.extra_info["opt_gain"] = {r.program: round(r.opt_gain, 3) for r in result.rows}
+    benchmark.extra_info["opt_gain"] = {r.program: round(r.opt_gain, 3) for r in result.detail.rows}
 
 
 def test_bench_e14_intrinsic(benchmark, cfg):
@@ -25,7 +25,7 @@ def test_bench_e14_intrinsic(benchmark, cfg):
         < result.row("fig6_original").intrinsic.total_bytes / 10
     )
     benchmark.extra_info["headroom"] = {
-        r.program: round(r.headroom, 3) for r in result.rows
+        r.program: round(r.headroom, 3) for r in result.detail.rows
     }
 
 
@@ -61,7 +61,7 @@ def test_bench_e17_survey(benchmark, cfg):
         row = result.row(f"blas1_{kind}")
         assert row.balance.memory_balance == pytest.approx(row.expected_memory, rel=0.02)
     benchmark.extra_info["memory_balance"] = {
-        r.program: round(r.balance.memory_balance, 2) for r in result.rows
+        r.program: round(r.balance.memory_balance, 2) for r in result.detail.rows
     }
 
 

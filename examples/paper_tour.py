@@ -3,25 +3,12 @@
 
 Runs every reproduction experiment in the paper's narrative order with a
 one-paragraph explanation before each table — the whole IPPS 2000 story
-in one sitting (about half a minute of simulation).
+in one sitting (about half a minute of simulation).  Each experiment is
+launched through the stable :func:`repro.run_experiment` entry point and
+comes back as a structured ``ExperimentResult``.
 """
 
-from repro.experiments import (
-    ExperimentConfig,
-    run_e9,
-    run_e10,
-    run_e11,
-    run_e12,
-    run_e13,
-    run_e14,
-    run_fig1,
-    run_fig2,
-    run_fig3,
-    run_fig4,
-    run_fig5,
-    run_fig6,
-    run_fig8,
-)
+import repro
 from repro.experiments.charts import fig3_chart
 
 NARRATION = {
@@ -83,36 +70,20 @@ NARRATION = {
     ),
 }
 
-RUNNERS = {
-    "fig1": run_fig1,
-    "fig2": run_fig2,
-    "fig3": run_fig3,
-    "fig4": run_fig4,
-    "fig5": lambda cfg: run_fig5(),
-    "fig6": run_fig6,
-    "fig8": run_fig8,
-    "e9": lambda cfg: run_e9(),
-    "e10": run_e10,
-    "e11": run_e11,
-    "e12": run_e12,
-    "e13": run_e13,
-    "e14": run_e14,
-}
-
 
 def main() -> None:
-    cfg = ExperimentConfig()
+    cfg = repro.ExperimentConfig()
     print("Ding & Kennedy, 'The Memory Bandwidth Bottleneck and its")
     print("Amelioration by a Compiler' (IPPS 2000) — the full tour.\n")
-    for key, runner in RUNNERS.items():
+    for key, narration in NARRATION.items():
         print("-" * 72)
-        print(NARRATION[key])
+        print(narration)
         print()
-        result = runner(cfg)
+        result = repro.run_experiment(key, cfg)
         print(result.table().render())
         if key == "fig3":
             print()
-            print(fig3_chart(result))
+            print(fig3_chart(result.detail))
         print()
 
 

@@ -1,23 +1,23 @@
 #!/usr/bin/env python
 """Quickstart: build a program, measure its bandwidth demand, optimize it.
 
-This walks the paper's whole story on one small example:
+This walks the paper's whole story on one small example, using only the
+stable three-verb API in :mod:`repro.api`:
 
 1. write a two-loop program with the builder API;
-2. run it on the simulated SGI Origin2000 and read its *balance* (bytes
-   per flop at every memory level) — the demand side of Figure 1;
-3. compare demand to the machine's supply (Figure 2's ratios) and see the
+2. ``repro.measure_balance`` — its *balance* (bytes per flop at every
+   memory level) on the simulated SGI Origin2000, the demand side of
+   Figure 1, plus Figure 2's demand/supply ratios and the resulting
    CPU-utilization ceiling;
-4. let the compiler strategy (fusion -> storage reduction -> store
-   elimination) rewrite the program, verified against the interpreter;
-5. measure again: the same answer, computed with half the memory traffic.
+3. ``repro.optimize`` — the compiler strategy (fusion -> storage
+   reduction -> store elimination) rewrites the program, verified
+   against the interpreter, and measures before/after on the machine;
+4. ``repro.simulate`` — the raw instrument, if you want the counters.
 """
 
-from repro.balance import demand_supply_ratios, program_balance
-from repro.interp import execute
+import repro
 from repro.lang import ProgramBuilder, render
 from repro.machine import origin2000
-from repro.transforms import optimize
 
 
 def build_program(n: int = 65536):
@@ -41,26 +41,23 @@ def main() -> None:
     print(render(program))
 
     print("== measured on the simulated Origin2000 ==")
-    run = execute(program, machine)
-    print(run.describe())
-    balance = program_balance(run)
-    print(balance.describe())
-    ratios = demand_supply_ratios(balance, machine)
-    print(ratios.describe())
+    report = repro.measure_balance(program, machine)
+    print(report.describe())
+    print(f"(CPU utilization bound: {report.cpu_utilization_bound:.0%}, "
+          f"limited by the {report.limiting_channel} channel)")
     print()
 
     print("== after the paper's compiler strategy ==")
-    result = optimize(program)
-    print(result.describe())
+    opt = repro.optimize(program, machine)
+    print(opt.describe())
     print()
-    print(render(result.final))
+    print(render(opt.optimized))
 
-    optimized = execute(result.final, machine)
-    print(optimized.describe())
+    sim = repro.simulate(opt.optimized, machine)
+    print(sim.describe())
     print(
-        f"memory traffic: {run.counters.memory_bytes:,} -> "
-        f"{optimized.counters.memory_bytes:,} bytes "
-        f"({run.seconds / optimized.seconds:.2f}x faster)"
+        f"memory traffic: {opt.before.memory_bytes:,} -> "
+        f"{opt.after.memory_bytes:,} bytes ({opt.speedup:.2f}x faster)"
     )
 
 

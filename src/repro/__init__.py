@@ -1,0 +1,51 @@
+"""Reproduction of Ding & Kennedy, "The Memory Bandwidth Bottleneck and
+its Amelioration by a Compiler" (IPPS 2000).
+
+The stable entry points live in :mod:`repro.api` and are re-exported
+here lazily (PEP 562), so ``import repro`` stays cheap::
+
+    import repro
+
+    report = repro.measure_balance(program, machine)
+    sim = repro.simulate(program, machine)
+    opt = repro.optimize(program, machine)
+    results = repro.run_experiments(["fig1", "fig3"], jobs=4)
+
+Deeper modules (``repro.lang``, ``repro.machine``, ``repro.transforms``,
+``repro.experiments``, ...) remain importable directly but are not part
+of the stable surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__version__ = "0.2.0"
+
+#: Names re-exported lazily from :mod:`repro.api`.
+_API_EXPORTS = (
+    "BalanceReport",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "OptimizationReport",
+    "SimulationResult",
+    "measure_balance",
+    "optimize",
+    "run_experiment",
+    "run_experiments",
+    "simulate",
+)
+
+__all__ = ["__version__", "api", *_API_EXPORTS]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _API_EXPORTS:
+        from . import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

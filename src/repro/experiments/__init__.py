@@ -18,10 +18,31 @@ from .fig4_fusion import run_fig4
 from .fig5_mincut import random_hypergraph, run_fig5
 from .fig6_storage import run_fig6
 from .fig8_store_elim import PAPER_SECONDS, build_stages, run_fig8
+from .orchestrator import (
+    ExperimentTask,
+    OrchestratorOptions,
+    build_manifest,
+    build_plan,
+    run_battery,
+    run_tasks,
+    write_manifest,
+)
+from .registry import EXPERIMENTS
 from .report import Table, fmt
+from .result import ExperimentResult, experiment
 
 __all__ = [
+    "EXPERIMENTS",
     "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentTask",
+    "OrchestratorOptions",
+    "build_manifest",
+    "build_plan",
+    "experiment",
+    "run_battery",
+    "run_tasks",
+    "write_manifest",
     "PAPER_BALANCE",
     "PAPER_MACHINE_BALANCE",
     "PAPER_RATIOS",

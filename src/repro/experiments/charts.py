@@ -55,10 +55,17 @@ class BarChart:
         return "\n".join(lines)
 
 
+def _unwrap(result):
+    """Accept an ExperimentResult or a legacy figure result object."""
+    detail = getattr(result, "detail", None)
+    return detail if detail is not None else result
+
+
 def fig3_chart(result) -> str:
     """The paper's Figure 3 as two bar charts (one per machine)."""
     from ..programs.kernels import KERNEL_NAMES
 
+    result = _unwrap(result)
     charts = []
     for panel in (result.origin, result.exemplar):
         chart = BarChart(
@@ -73,6 +80,7 @@ def fig3_chart(result) -> str:
 
 def balance_chart(result) -> str:
     """Figure 1's memory column as bars against the machine's supply."""
+    result = _unwrap(result)
     chart = BarChart("Memory balance: demand vs the machine's supply (B/flop)")
     supply = result.machine.balance[-1]
     for b in result.balances:

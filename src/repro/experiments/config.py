@@ -11,7 +11,9 @@ scaling — see DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Mapping
 
 from ..machine.presets import exemplar, origin2000
 from ..machine.spec import MachineSpec
@@ -21,10 +23,53 @@ DEFAULT_SCALE = 128
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Scale and derived problem sizes for one experiment run."""
+    """Scale and derived problem sizes for one experiment run.
+
+    The simulation-environment knobs (``engine``, ``sim_cache``,
+    ``sim_cache_dir``) live here too, so a worker process can reproduce
+    the exact environment of its parent from the config alone —
+    :meth:`apply` installs them as the process defaults.
+    """
 
     scale: int = DEFAULT_SCALE
     array_cache_factor: int = 4  # arrays >= this multiple of the last cache
+    engine: str = "auto"  # cache-simulation engine (see repro.machine.engine)
+    sim_cache: bool = True  # content-keyed simulation memo on/off
+    sim_cache_dir: str | None = None  # persistent tier directory (None = memory only)
+
+    def apply(self) -> None:
+        """Install this config's engine and sim-cache settings as the
+        process defaults (what the runner did ad hoc before; workers call
+        this so the environment is inherited explicitly, not by accident).
+
+        Idempotent: when the current process default already matches, the
+        cache is left alone so its in-memory memo survives across the
+        experiments of one serial battery."""
+        from ..machine.engine import set_default_engine
+        from ..machine.engine.simcache import configure_sim_cache, get_sim_cache
+
+        set_default_engine(self.engine)
+        current = get_sim_cache()
+        matches = (
+            current is not None
+            and self.sim_cache
+            and (
+                current.directory is None
+                if self.sim_cache_dir is None
+                else current.directory == Path(self.sim_cache_dir)
+            )
+        ) or (current is None and not self.sim_cache)
+        if not matches:
+            configure_sim_cache(enabled=self.sim_cache, directory=self.sim_cache_dir)
+
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-serializable snapshot (every field is a plain scalar)."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "ExperimentConfig":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
     @property
     def origin(self) -> MachineSpec:

@@ -18,6 +18,7 @@ from ..machine.spec import MachineSpec
 from ..programs.matmul import matmul, matmul_blocked
 from .config import ExperimentConfig
 from .report import Table
+from .result import delta, experiment
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,18 @@ class E10Result:
         raise KeyError(variant)
 
 
+def _e10_deltas(result: E10Result) -> list[dict]:
+    out = [delta("jki (-O2)", "Mem-L2 B/flop", 5.9, result.memory_balance("jki (-O2)"))]
+    try:
+        out.append(
+            delta("blocked t=30", "Mem-L2 B/flop", 0.04, result.memory_balance("blocked t=30"))
+        )
+    except KeyError:
+        pass  # tile sweep may exclude t=30 when the side is not divisible
+    return out
+
+
+@experiment("e10", deltas=_e10_deltas)
 def run_e10(
     config: ExperimentConfig | None = None,
     tiles: tuple[int, ...] = (10, 15, 30),

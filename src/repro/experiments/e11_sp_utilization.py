@@ -25,6 +25,7 @@ from ..programs.nas_sp import SUBROUTINES, nas_sp
 from ..trace.generator import TraceGenerator
 from .config import ExperimentConfig
 from .report import Table
+from .result import delta, experiment
 
 SATURATION_THRESHOLD = 0.84
 DEFAULT_OUTSTANDING = 4
@@ -61,6 +62,11 @@ class E11Result:
         return t
 
 
+def _e11_deltas(result: E11Result) -> list[dict]:
+    return [delta("NAS/SP", "saturated subroutines", 5, result.saturated_count)]
+
+
+@experiment("e11", deltas=_e11_deltas)
 def run_e11(
     config: ExperimentConfig | None = None,
     outstanding: int = DEFAULT_OUTSTANDING,

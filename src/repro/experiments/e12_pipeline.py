@@ -17,6 +17,7 @@ from ..machine.spec import MachineSpec
 from ..transforms.pipeline import PipelineResult, optimize
 from .config import ExperimentConfig
 from .report import Table
+from .result import experiment
 
 
 def multi_stage_workload(n: int) -> Program:
@@ -65,6 +66,7 @@ class E12Result:
         return t
 
 
+@experiment("e12")
 def run_e12(config: ExperimentConfig | None = None) -> E12Result:
     config = config or ExperimentConfig()
     n = config.stream_elements()

@@ -26,6 +26,7 @@ from ..trace.generator import generate_trace
 from ..transforms.pipeline import optimize
 from .config import ExperimentConfig
 from .report import Table
+from .result import experiment
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,7 @@ def _l2_bytes(program: Program, machine: MachineSpec) -> tuple[int, int]:
     return lru_vs_opt(trace.addresses, trace.is_write, geometry)
 
 
+@experiment("e13")
 def run_e13(config: ExperimentConfig | None = None) -> E13Result:
     config = config or ExperimentConfig()
     machine = config.origin

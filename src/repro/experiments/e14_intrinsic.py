@@ -23,6 +23,7 @@ from ..trace.generator import generate_trace
 from ..transforms.pipeline import optimize
 from .config import ExperimentConfig
 from .report import Table
+from .result import experiment
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,7 @@ def _measure(program: Program, machine: MachineSpec) -> IntrinsicRow:
     )
 
 
+@experiment("e14")
 def run_e14(config: ExperimentConfig | None = None) -> E14Result:
     config = config or ExperimentConfig()
     machine = config.origin

@@ -24,6 +24,7 @@ from ..machine.spec import MachineSpec
 from ..programs import convolution, make_kernel, sweep3d
 from .config import ExperimentConfig
 from .report import Table
+from .result import experiment
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,7 @@ class E15Result:
         return t
 
 
+@experiment("e15")
 def run_e15(config: ExperimentConfig | None = None) -> E15Result:
     config = config or ExperimentConfig()
     origin = config.origin

@@ -28,6 +28,7 @@ from ..transforms.verify import verify_equivalent
 from .config import ExperimentConfig
 from .fig3_bandwidth import nominal_bytes
 from .report import Table
+from .result import experiment
 
 
 @dataclass(frozen=True)
@@ -51,6 +52,7 @@ class E16Result:
         return t
 
 
+@experiment("e16")
 def run_e16(config: ExperimentConfig | None = None) -> E16Result:
     config = config or ExperimentConfig()
     machine = config.exemplar

@@ -19,6 +19,7 @@ from ..programs.blas1 import BLAS1_KERNELS, EXPECTED_MEMORY_BALANCE, blas1
 from ..programs.jacobi import jacobi
 from .config import ExperimentConfig
 from .report import Table
+from .result import experiment
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,7 @@ class E17Result:
         return t
 
 
+@experiment("e17")
 def run_e17(config: ExperimentConfig | None = None) -> E17Result:
     config = config or ExperimentConfig()
     machine = config.origin

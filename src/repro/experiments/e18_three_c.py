@@ -21,6 +21,7 @@ from ..programs.kernels import make_kernel
 from ..trace.generator import generate_trace
 from .config import ExperimentConfig
 from .report import Table
+from .result import experiment
 
 
 @dataclass(frozen=True)
@@ -72,6 +73,7 @@ def _classify(machine: MachineSpec, kernel: str, n: int) -> MissClassification:
     return classify_misses(trace.addresses, trace.is_write, geometry)
 
 
+@experiment("e18")
 def run_e18(
     config: ExperimentConfig | None = None,
     kernels: tuple[str, ...] = ("2w5r", "3w6r"),

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..fusion.kwaycut import KWayCutInstance, verify_reduction
 from .report import Table
+from .result import experiment
 
 if TYPE_CHECKING:  # pragma: no cover
     from .config import ExperimentConfig
@@ -50,6 +51,7 @@ class E9Result:
         return t
 
 
+@experiment("e9")
 def run_e9(
     cfg: "ExperimentConfig | None" = None, *, trials: int = 8, seed: int = 11
 ) -> E9Result:

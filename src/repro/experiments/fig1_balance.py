@@ -33,6 +33,7 @@ from ..machine.spec import MachineSpec
 from ..programs import convolution, dmxpy, fft, matmul, matmul_blocked, nas_sp, sweep3d
 from .config import ExperimentConfig
 from .report import Table
+from .result import delta, experiment
 
 #: Paper values for EXPERIMENTS.md comparisons: name -> (L1-Reg, L2-L1, Mem-L2).
 PAPER_BALANCE: Mapping[str, tuple[float, float, float]] = {
@@ -90,6 +91,19 @@ def _workloads(config: ExperimentConfig) -> list[tuple[str, Program]]:
     ]
 
 
+def _fig1_deltas(result: Fig1Result) -> list[dict]:
+    out = []
+    for name, paper in PAPER_BALANCE.items():
+        measured = result.by_name(name)
+        out.append(delta(name, "Mem-L2 B/flop", paper[-1], measured.memory_balance))
+    machine = machine_balance(result.machine)
+    out.append(
+        delta(result.machine.name, "Mem-L2 B/flop", PAPER_MACHINE_BALANCE[-1], machine[-1])
+    )
+    return out
+
+
+@experiment("fig1", deltas=_fig1_deltas)
 def run_fig1(config: ExperimentConfig | None = None) -> Fig1Result:
     config = config or ExperimentConfig()
     machine = config.origin

@@ -22,6 +22,7 @@ from ..machine.spec import MachineSpec
 from .config import ExperimentConfig
 from .fig1_balance import Fig1Result, run_fig1
 from .report import Table
+from .result import delta, experiment
 
 #: Paper ratios for EXPERIMENTS.md comparison.
 PAPER_RATIOS = {
@@ -64,11 +65,19 @@ class Fig2Result:
         return t
 
 
+def _fig2_deltas(result: Fig2Result) -> list[dict]:
+    return [
+        delta(name, "Mem-L2 ratio", paper[-1], result.by_name(name).ratios[-1])
+        for name, paper in PAPER_RATIOS.items()
+    ]
+
+
+@experiment("fig2", deltas=_fig2_deltas)
 def run_fig2(
     config: ExperimentConfig | None = None, fig1: Fig1Result | None = None
 ) -> Fig2Result:
     config = config or ExperimentConfig()
-    fig1 = fig1 or run_fig1(config)
+    fig1 = fig1 or run_fig1(config).detail
     ratios = tuple(
         demand_supply_ratios(balance, fig1.machine)
         for balance in fig1.balances

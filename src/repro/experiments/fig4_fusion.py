@@ -29,6 +29,7 @@ from ..interp.executor import execute
 from ..programs.paper_examples import FIG4_PREVENTING, fig4_program
 from .config import ExperimentConfig
 from .report import Table
+from .result import delta, experiment
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,17 @@ class Fig4Result:
         return t
 
 
+def _fig4_deltas(result: Fig4Result) -> list[dict]:
+    return [
+        delta("no fusion", "array loads", 20, result.no_fusion_cost),
+        delta("bandwidth-minimal", "array loads", 7, result.optimal_cost),
+        delta("edge-weighted", "array loads", 8, result.edge_weighted_bandwidth_cost),
+        delta("bandwidth-minimal", "cross weight", 3, result.optimal_edge_weight),
+        delta("edge-weighted", "cross weight", 2, result.edge_weighted_cross),
+    ]
+
+
+@experiment("fig4", deltas=_fig4_deltas)
 def run_fig4(config: ExperimentConfig | None = None) -> Fig4Result:
     config = config or ExperimentConfig()
     n = config.stream_elements()

@@ -29,6 +29,7 @@ from ..transforms.store_elim import eliminate_stores
 from ..transforms.verify import verify_equivalent
 from .config import ExperimentConfig
 from .report import Table
+from .result import delta, experiment
 
 PAPER_SECONDS = {
     "Origin2000": (0.32, 0.22, 0.16),
@@ -91,6 +92,17 @@ def _written_arrays(stmt):
         yield stmt.lhs.array
 
 
+def _fig8_deltas(result: Fig8Result) -> list[dict]:
+    out = []
+    for machine, paper in PAPER_SECONDS.items():
+        name = next((m for m in result.runs if m.startswith(machine)), None)
+        if name is None:
+            continue
+        out.append(delta(name, "combined speedup", paper[0] / paper[2], result.speedup(name)))
+    return out
+
+
+@experiment("fig8", deltas=_fig8_deltas)
 def run_fig8(config: ExperimentConfig | None = None) -> Fig8Result:
     config = config or ExperimentConfig()
     n = config.stream_elements()

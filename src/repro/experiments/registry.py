@@ -1,0 +1,48 @@
+"""The experiment registry: figure/table id -> ``run_*`` entry point.
+
+Both the serial runner and the parallel orchestrator resolve experiment
+names here.  Every entry has the uniform signature
+``run_*(cfg: ExperimentConfig) -> ExperimentResult``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .e9_npcomplete import run_e9
+from .e10_blocking import run_e10
+from .e11_sp_utilization import run_e11
+from .e12_pipeline import run_e12
+from .e13_replacement import run_e13
+from .e14_intrinsic import run_e14
+from .e15_prediction import run_e15
+from .e16_regrouping import run_e16
+from .e17_survey import run_e17
+from .e18_three_c import run_e18
+from .fig1_balance import run_fig1
+from .fig2_ratios import run_fig2
+from .fig3_bandwidth import run_fig3
+from .fig4_fusion import run_fig4
+from .fig5_mincut import run_fig5
+from .fig6_storage import run_fig6
+from .fig8_store_elim import run_fig8
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig8": run_fig8,
+    "e9": run_e9,
+    "e10": run_e10,
+    "e11": run_e11,
+    "e12": run_e12,
+    "e13": run_e13,
+    "e14": run_e14,
+    "e15": run_e15,
+    "e16": run_e16,
+    "e17": run_e17,
+    "e18": run_e18,
+}

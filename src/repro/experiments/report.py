@@ -23,12 +23,18 @@ def fmt(value, digits: int = 2) -> str:
 
 @dataclass
 class Table:
-    """A titled text table."""
+    """A titled text table.
+
+    ``volatile`` names columns whose cells are real wall-clock
+    measurements: they legitimately differ between otherwise identical
+    runs, so result comparisons (serial vs parallel manifests) mask them.
+    """
 
     title: str
     headers: Sequence[str]
     rows: list[Sequence] = field(default_factory=list)
     note: str = ""
+    volatile: Sequence[str] = ()
 
     def add(self, *cells) -> None:
         if len(cells) != len(self.headers):

@@ -1,67 +1,107 @@
-"""Run every experiment and print the paper's tables.
+"""Run experiments — serially or in parallel — and print the paper's tables.
 
 Usage::
 
-    python -m repro.experiments.runner            # everything
-    python -m repro.experiments.runner fig1 fig3  # a subset
-    repro-experiments --scale 64 fig8             # bigger simulation
+    python -m repro.experiments.runner              # everything, serial
+    python -m repro.experiments.runner fig1 fig3    # a subset
+    repro-experiments --jobs 4                      # full battery, 4 workers
+    repro-experiments --scale 16,32,64 fig1         # parameter sweep
+    repro-experiments --jobs 2 --timeout 120 all    # per-experiment deadline
 
-Each experiment prints the table its paper figure reports; EXPERIMENTS.md
-records the paper-vs-measured comparison for the checked-in default scale.
+The runner is a thin consumer of the orchestrator: experiments return
+structured :class:`~repro.experiments.result.ExperimentResult` records,
+the tables are rendered from those records (so serial and parallel output
+are bit-identical), and every run writes a JSON manifest under
+``results/`` (``--no-manifest`` disables it; ``docs/result.schema.json``
+describes the format).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
-from typing import Callable
+import warnings
+from typing import Any
 
-from ..machine.engine import ENGINES, set_default_engine
-from ..machine.engine import simcache
-from ..machine.engine.simcache import configure_sim_cache
 from .config import ExperimentConfig
-from .e9_npcomplete import run_e9
-from .e13_replacement import run_e13
-from .e14_intrinsic import run_e14
-from .e15_prediction import run_e15
-from .e16_regrouping import run_e16
-from .e17_survey import run_e17
-from .e18_three_c import run_e18
-from .e10_blocking import run_e10
-from .e11_sp_utilization import run_e11
-from .e12_pipeline import run_e12
-from .fig1_balance import run_fig1
-from .fig2_ratios import run_fig2
-from .fig3_bandwidth import run_fig3
-from .fig4_fusion import run_fig4
-from .fig5_mincut import run_fig5
-from .fig6_storage import run_fig6
-from .fig8_store_elim import run_fig8
+from .orchestrator import (
+    DEFAULT_RESULTS_DIR,
+    OrchestratorOptions,
+    build_manifest,
+    build_plan,
+    run_tasks,
+    summary_table,
+    write_manifest,
+)
+from .registry import EXPERIMENTS as _EXPERIMENTS
+from .result import ExperimentResult
 
-# Every experiment has the uniform signature run_*(cfg: ExperimentConfig).
-EXPERIMENTS: dict[str, Callable] = {
-    "fig1": run_fig1,
-    "fig2": run_fig2,
-    "fig3": run_fig3,
-    "fig4": run_fig4,
-    "fig5": run_fig5,
-    "fig6": run_fig6,
-    "fig8": run_fig8,
-    "e9": run_e9,
-    "e10": run_e10,
-    "e11": run_e11,
-    "e12": run_e12,
-    "e13": run_e13,
-    "e14": run_e14,
-    "e15": run_e15,
-    "e16": run_e16,
-    "e17": run_e17,
-    "e18": run_e18,
-}
+#: Default on-disk simulation-cache directory (kept for CLI help/back-compat).
+DEFAULT_SIM_CACHE_DIR = ".repro_cache"
+
+
+def __getattr__(name: str) -> Any:
+    if name == "EXPERIMENTS":
+        warnings.warn(
+            "repro.experiments.runner.EXPERIMENTS moved to "
+            "repro.experiments.registry.EXPERIMENTS",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _EXPERIMENTS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def _parse_scales(text: str | None) -> list[int] | None:
+    if text is None:
+        return None
+    try:
+        scales = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--scale expects an integer or comma-separated integers, got {text!r}"
+        ) from None
+    if not scales or any(s <= 0 for s in scales):
+        raise argparse.ArgumentTypeError(f"--scale values must be positive: {text!r}")
+    return scales
+
+
+def _sim_counters_suffix(result: ExperimentResult) -> str:
+    hits = result.sim_cache.get("hits", 0)
+    misses = result.sim_cache.get("misses", 0)
+    disk = result.sim_cache.get("disk_hits", 0)
+    if not (hits or misses):
+        return ""
+    suffix = f", sim {hits} cached / {misses} simulated"
+    if disk:
+        suffix += f" ({disk} from disk)"
+    return suffix
+
+
+def _print_result(result: ExperimentResult, label: str, charts: bool) -> None:
+    if not result.ok:
+        print(f"[{label}: {result.status.upper()} after {result.attempts} "
+              f"attempt(s): {result.error}]")
+        print()
+        return
+    print(result.table().render())
+    if charts and result.experiment in ("fig1", "fig3"):
+        if result.detail is None:
+            print("(charts need the in-process detail: rerun with --jobs 1)")
+        else:
+            from .charts import balance_chart, fig3_chart
+
+            print()
+            chart = fig3_chart if result.experiment == "fig3" else balance_chart
+            print(chart(result.detail))
+    total = result.timings.get("total", 0.0)
+    print(f"[{label}: {total:.1f}s{_sim_counters_suffix(result)}]")
+    print()
 
 
 def main(argv: list[str] | None = None) -> int:
+    from ..machine.engine import ENGINES
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce every table/figure of Ding & Kennedy (IPPS 2000).",
@@ -69,15 +109,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        choices=[*EXPERIMENTS, "all"],
+        choices=[*_EXPERIMENTS, "all"],
         default="all",
         help="which experiments to run (default: all)",
     )
     parser.add_argument(
         "--scale",
-        type=int,
+        type=_parse_scales,
         default=None,
-        help="cache scale-down factor (default from config; smaller = slower, closer to hardware sizes)",
+        metavar="N[,N...]",
+        help="cache scale-down factor; a comma-separated list sweeps every "
+        "experiment over each scale (default from config)",
     )
     parser.add_argument(
         "--charts",
@@ -97,46 +139,83 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--sim-cache-dir",
-        default=simcache.DEFAULT_DIR,
+        default=DEFAULT_SIM_CACHE_DIR,
         help="directory of the persistent simulation cache (default: %(default)s)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default: 1 = in-process serial run)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-experiment deadline; a worker past it is terminated and "
+        "the experiment recorded as timed out (implies worker processes)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extra attempts after a crash or timeout (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default=DEFAULT_RESULTS_DIR,
+        help="where run manifests are written (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-manifest",
+        action="store_true",
+        help="do not write the results/run-<id>.json manifest",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
-    wanted = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
-    cfg = ExperimentConfig(scale=args.scale) if args.scale else ExperimentConfig()
+    wanted = list(_EXPERIMENTS) if "all" in args.experiments else args.experiments
+    scales = args.scale
+    base_cfg = ExperimentConfig(
+        engine=args.engine,
+        sim_cache=not args.no_sim_cache,
+        sim_cache_dir=None if args.no_sim_cache else args.sim_cache_dir,
+    )
+    base_cfg.apply()  # in-process runs simulate in this process
 
-    set_default_engine(args.engine)
-    if args.no_sim_cache:
-        memo = configure_sim_cache(enabled=False)
-    else:
-        memo = configure_sim_cache(directory=args.sim_cache_dir)
+    tasks = build_plan(wanted, base_cfg, scales)
+    options = OrchestratorOptions(
+        jobs=args.jobs, timeout=args.timeout, retries=args.retries
+    )
 
-    print(f"machine scale: 1/{cfg.scale} of the paper's cache sizes")
-    print(f"engine: {args.engine}, sim cache: "
-          + (f"on ({args.sim_cache_dir})" if memo is not None else "off") + "\n")
-    for name in wanted:
-        before = memo.counters.snapshot() if memo is not None else None
-        start = time.perf_counter()
-        result = EXPERIMENTS[name](cfg)
-        elapsed = time.perf_counter() - start
-        print(result.table().render())
-        if args.charts and name == "fig3":
-            from .charts import fig3_chart
+    shown = scales if scales else [base_cfg.scale]
+    print("machine scale: " + ", ".join(f"1/{s}" for s in shown)
+          + " of the paper's cache sizes")
+    cache_desc = "off" if args.no_sim_cache else f"on ({args.sim_cache_dir})"
+    mode = "in-process serial" if not options.use_processes else f"{args.jobs} worker(s)"
+    print(f"engine: {args.engine}, sim cache: {cache_desc}, mode: {mode}\n")
 
-            print()
-            print(fig3_chart(result))
-        if args.charts and name == "fig1":
-            from .charts import balance_chart
+    results: list[ExperimentResult] = []
+    for task, result in zip(tasks, run_tasks(tasks, options)):
+        results.append(result)
+        _print_result(result, task.display(), args.charts)
 
-            print()
-            print(balance_chart(result))
-        timing = f"[{name}: {elapsed:.1f}s"
-        if memo is not None and before is not None:
-            delta = memo.counters.since(before)
-            if delta.hits or delta.misses:
-                timing += f", sim {delta}"
-        print(timing + "]")
+    if len(results) > 1:
+        print(summary_table(results).render())
         print()
+    if not args.no_manifest:
+        manifest = build_manifest(
+            results, jobs=args.jobs, command=list(argv) if argv is not None else sys.argv[1:]
+        )
+        path = write_manifest(manifest, args.results_dir)
+        print(f"manifest: {path}")
+
+    # Graceful degradation: failures are recorded in the manifest, they do
+    # not fail the battery.
     return 0
 
 

@@ -30,6 +30,7 @@ from ..machine.timing import (
     latency_bound_time,
     overlap_time,
 )
+from ..phases import SIMULATE, TRACE_GEN, phase
 from ..trace.generator import TraceGenerator
 from .counters import HardwareCounters
 
@@ -137,23 +138,25 @@ def execute(
             cached.stores,
         )
     else:
-        gen = TraceGenerator(program, bound, layout, validate=validate)
-        trace = gen.generate()
+        with phase(TRACE_GEN):
+            gen = TraceGenerator(program, bound, layout, validate=validate)
+            trace = gen.generate()
         if len(trace) == 0 and trace.flops == 0:
             raise ExecutionError(f"program {program.name!r} generates no work")
 
-        hierarchy = Hierarchy.from_spec(machine, engine)
-        for _ in range(warmup_passes):
-            hierarchy.run_trace(trace.addresses, trace.is_write)
-        if warmup_passes:
-            for cache in hierarchy.caches:
-                cache.reset_stats()
+        with phase(SIMULATE):
+            hierarchy = Hierarchy.from_spec(machine, engine)
+            for _ in range(warmup_passes):
+                hierarchy.run_trace(trace.addresses, trace.is_write)
+            if warmup_passes:
+                for cache in hierarchy.caches:
+                    cache.reset_stats()
 
-        for _ in range(passes):
-            hierarchy.run_trace(trace.addresses, trace.is_write)
-        if flush:
-            hierarchy.flush()
-        result = hierarchy.result()
+            for _ in range(passes):
+                hierarchy.run_trace(trace.addresses, trace.is_write)
+            if flush:
+                hierarchy.flush()
+            result = hierarchy.result()
         trace_flops, trace_loads, trace_stores = trace.flops, trace.loads, trace.stores
         if memo is not None and key is not None:
             memo.put(

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import copy
 import hashlib
+import itertools
 import json
 import os
 from dataclasses import dataclass
@@ -149,6 +150,7 @@ class SimulationCache:
         self._memory: dict[str, SimulationResult] = {}
         self.directory = Path(directory) if directory is not None else None
         self.counters = CacheCounters()
+        self._tmp_serial = itertools.count()
 
     def _path(self, key: str) -> Path:
         assert self.directory is not None
@@ -177,13 +179,25 @@ class SimulationCache:
         self._memory[key] = copy.deepcopy(value)
         if self.directory is not None:
             path = self._path(key)
+            # Lock-free multi-process safety: each writer stages the entry
+            # under a name unique to (pid, counter) and publishes it with an
+            # atomic rename.  Concurrent writers of the same key cannot
+            # interleave partial writes — readers see either no file or a
+            # complete one, and the last complete write wins (all writers
+            # produce identical bytes anyway: simulation is deterministic).
+            tmp = path.with_name(
+                f"{path.name}.{os.getpid()}.{next(self._tmp_serial)}.tmp"
+            )
             try:
                 path.parent.mkdir(parents=True, exist_ok=True)
-                tmp = path.with_suffix(".tmp")
                 tmp.write_text(json.dumps(value.to_json()))
                 os.replace(tmp, path)
             except OSError:
-                pass  # disk tier is best-effort; memory tier already holds it
+                # Disk tier is best-effort; memory tier already holds it.
+                try:
+                    tmp.unlink(missing_ok=True)
+                except OSError:
+                    pass
 
     def clear(self) -> None:
         self._memory.clear()

@@ -1,0 +1,63 @@
+"""Lightweight phase timing: where does an experiment's wall-clock go?
+
+The instrumented hot paths (trace generation, cache simulation, the
+transformation pipeline) wrap themselves in :func:`phase`; any enclosing
+:func:`collect_phases` context accumulates the per-phase seconds.  The
+collector stack lives in a :mod:`contextvars` variable, so collection
+nests correctly (an inner experiment that runs another experiment sees
+its callee's phases too) and is safe under threads.
+
+With no active collector a :func:`phase` block costs one contextvar read,
+so library code pays nothing when nobody is measuring.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Tuple
+
+#: Canonical phase names used by the instrumented call sites.
+TRACE_GEN = "trace_gen"
+SIMULATE = "simulate"
+TRANSFORM = "transform"
+
+_collectors: contextvars.ContextVar[Tuple[Dict[str, float], ...]] = (
+    contextvars.ContextVar("repro_phase_collectors", default=())
+)
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Attribute the wall-clock of the block to ``name`` in every active
+    collector (a no-op when nothing is collecting)."""
+    active = _collectors.get()
+    if not active:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        for acc in active:
+            acc[name] = acc.get(name, 0.0) + elapsed
+
+
+@contextmanager
+def collect_phases() -> Iterator[Dict[str, float]]:
+    """Collect per-phase seconds for the duration of the block.
+
+    Yields the accumulating dict; read it after the block exits::
+
+        with collect_phases() as phases:
+            run_fig1(cfg)
+        print(phases)  # {"trace_gen": 0.12, "simulate": 0.48, ...}
+    """
+    acc: Dict[str, float] = {}
+    token = _collectors.set(_collectors.get() + (acc,))
+    try:
+        yield acc
+    finally:
+        _collectors.reset(token)

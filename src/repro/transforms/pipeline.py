@@ -25,6 +25,7 @@ from ..fusion.build import fusion_graph_from_program
 from ..fusion.graph import Partitioning
 from ..fusion.multi_partition import MAX_EXACT_NODES, greedy_partitioning, optimal_partitioning
 from ..lang.program import Program
+from ..phases import TRANSFORM, phase
 from .contraction import contract_arrays, contractible_arrays
 from .normalize import normalize_guard_contexts
 from .peeling import peel_array
@@ -74,6 +75,17 @@ def optimize(
     eliminate: bool = True,
 ) -> PipelineResult:
     """Run the full strategy on ``program``; returns all stages."""
+    with phase(TRANSFORM):
+        return _optimize(program, verify_sizes, fuse, reduce_storage, eliminate)
+
+
+def _optimize(
+    program: Program,
+    verify_sizes: Sequence[int],
+    fuse: bool,
+    reduce_storage: bool,
+    eliminate: bool,
+) -> PipelineResult:
     stages: list[PipelineStage] = []
     current = program
 

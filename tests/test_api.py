@@ -1,0 +1,123 @@
+"""The stable ``repro.api`` facade and its lazy re-export from ``repro``."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import ReproError
+from repro.lang import ProgramBuilder
+
+
+@pytest.fixture
+def two_loop_program():
+    """Figure 7's pattern: update an array, then reduce it."""
+    b = ProgramBuilder("facade", params={"N": 512})
+    res = b.array("res", "N")
+    data = b.array("data", "N")
+    total = b.scalar("sum", output=True)
+    with b.loop("i", 0, "N") as i:
+        b.assign(res[i], res[i] + data[i])
+    with b.loop("i", 0, "N") as i:
+        b.assign(total, total + res[i])
+    return b.build()
+
+
+class TestLazyExports:
+    def test_top_level_names(self):
+        for name in (
+            "simulate",
+            "optimize",
+            "measure_balance",
+            "run_experiment",
+            "run_experiments",
+        ):
+            assert callable(getattr(repro, name))
+        assert repro.ExperimentConfig is repro.api.ExperimentConfig
+
+    def test_dir_lists_api(self):
+        names = dir(repro)
+        assert "simulate" in names and "OptimizationReport" in names
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_thing
+
+
+class TestSimulate:
+    def test_measures_the_program(self, two_loop_program, tiny_machine):
+        sim = repro.simulate(two_loop_program, tiny_machine)
+        assert sim.program == "facade"
+        assert sim.machine == "Tiny"
+        assert sim.seconds > 0
+        assert sim.flops == 2 * 512
+        assert len(sim.channel_bytes) == len(sim.channel_names) == 3
+        assert sim.memory_bytes == sim.channel_bytes[-1]
+        assert sim.effective_bandwidth == pytest.approx(
+            sim.memory_bytes / sim.seconds
+        )
+        assert "Tiny" in sim.describe()
+
+    def test_engine_and_params_pass_through(self, two_loop_program, tiny_machine):
+        a = repro.simulate(two_loop_program, tiny_machine, engine="reference")
+        b = repro.simulate(
+            two_loop_program, tiny_machine, params={"N": 256}, engine="reference"
+        )
+        assert b.flops == 2 * 256 < a.flops
+
+
+class TestMeasureBalance:
+    def test_demand_supply_and_bound(self, two_loop_program, tiny_machine):
+        report = repro.measure_balance(two_loop_program, tiny_machine)
+        assert report.memory_balance > 0
+        assert report.limiting_channel in tiny_machine.level_names
+        assert 0 < report.cpu_utilization_bound <= 1
+        assert len(report.machine_balance) == len(tiny_machine.level_names)
+        assert report.required_memory_bandwidth > 0
+        assert "B/flop" in report.describe()
+
+
+class TestOptimize:
+    def test_without_machine(self, two_loop_program):
+        opt = repro.optimize(two_loop_program)
+        assert opt.changed
+        assert "fusion" in opt.applied_stages
+        assert opt.before is None and opt.after is None
+        assert opt.speedup is None and opt.memory_bytes_saved is None
+
+    def test_with_machine_measures_speedup(self, two_loop_program, tiny_machine):
+        opt = repro.optimize(two_loop_program, tiny_machine)
+        assert opt.speedup is not None and opt.speedup > 1
+        assert opt.memory_bytes_saved > 0
+        assert "measured:" in opt.describe()
+
+
+class TestExperiments:
+    def test_run_experiment(self):
+        result = repro.run_experiment(
+            "fig4", repro.ExperimentConfig(sim_cache=False)
+        )
+        assert result.ok and result.experiment == "fig4"
+        assert result.rows
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ReproError, match="unknown experiment"):
+            repro.run_experiment("fig99")
+        with pytest.raises(ReproError, match="unknown experiment"):
+            repro.run_experiments(["fig4", "fig99"])
+
+    def test_run_experiments_battery(self):
+        results = repro.run_experiments(
+            ["fig4", "e9"], repro.ExperimentConfig(sim_cache=False), jobs=2
+        )
+        assert [r.experiment for r in results] == ["fig4", "e9"]
+        assert all(r.ok for r in results)
+
+
+class TestDeprecations:
+    def test_runner_registry_moved(self):
+        from repro.experiments import runner
+
+        with pytest.warns(DeprecationWarning, match="moved to"):
+            registry = runner.EXPERIMENTS
+        assert "fig1" in registry

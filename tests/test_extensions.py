@@ -327,7 +327,7 @@ class TestNewExperiments:
         from repro.experiments import ExperimentConfig, run_e13
 
         r = run_e13(ExperimentConfig(scale=256))
-        for row in r.rows:
+        for row in r.detail.rows:
             assert row.opt_bytes <= row.lru_bytes
         fig7 = r.row("fig7")
         assert fig7.compiler_gain > fig7.opt_gain  # rescheduling beats OPT
@@ -337,7 +337,7 @@ class TestNewExperiments:
         from repro.experiments import ExperimentConfig, run_e14
 
         r = run_e14(ExperimentConfig(scale=256))
-        for row in r.rows:
+        for row in r.detail.rows:
             assert row.measured_bytes >= row.intrinsic.total_bytes * 0.999
         # the transformed fig6 floor is ~N/2 times lower than the original's
         assert (

@@ -1,0 +1,222 @@
+"""The experiment orchestrator: parallel == serial, graceful degradation,
+structured results and run manifests."""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.orchestrator import (
+    ExperimentTask,
+    OrchestratorOptions,
+    build_manifest,
+    build_plan,
+    comparable_manifest,
+    run_battery,
+    run_tasks,
+    summary_table,
+    write_manifest,
+)
+from repro.experiments.result import ExperimentResult, failed_result
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+SCHEMA = Path(__file__).resolve().parent.parent / "docs" / "result.schema.json"
+
+
+# -- injected experiments (module level: importable after fork/spawn) ----------
+
+
+def _ok_experiment(config):
+    return ExperimentResult(
+        experiment="fake_ok",
+        title="Fake",
+        headers=("k", "v"),
+        rows=[["answer", 42]],
+        config=config.to_json(),
+    )
+
+
+def _crash_experiment(config):
+    raise RuntimeError("boom")
+
+
+def _hang_experiment(config):
+    time.sleep(60)
+
+
+def _flaky_experiment(config):
+    flag = Path(os.environ["REPRO_TEST_FLAKY_FLAG"])
+    if not flag.exists():
+        flag.write_text("crashed once")
+        raise RuntimeError("first attempt fails")
+    return _ok_experiment(config)
+
+
+REGISTRY = {
+    "ok": _ok_experiment,
+    "boom": _crash_experiment,
+    "hang": _hang_experiment,
+    "flaky": _flaky_experiment,
+}
+
+
+def _tasks(*names):
+    cfg = ExperimentConfig(sim_cache=False)
+    return [ExperimentTask(n, cfg, n) for n in names]
+
+
+class TestPlan:
+    def test_single_scale(self):
+        tasks = build_plan(["fig1", "fig5"], ExperimentConfig(), [64])
+        assert [t.display() for t in tasks] == ["fig1", "fig5"]
+        assert all(t.config.scale == 64 for t in tasks)
+
+    def test_sweep_labels_and_order(self):
+        tasks = build_plan(["fig1", "fig5"], ExperimentConfig(), [16, 32])
+        assert [t.display() for t in tasks] == [
+            "fig1@1/16",
+            "fig5@1/16",
+            "fig1@1/32",
+            "fig5@1/32",
+        ]
+
+    def test_unknown_experiment_rejected(self):
+        options = OrchestratorOptions(registry=REGISTRY)
+        with pytest.raises(ReproError):
+            options.resolve("nope")
+
+
+class TestGracefulDegradation:
+    def test_inline_crash_is_recorded_not_raised(self):
+        options = OrchestratorOptions(jobs=1, retries=1, registry=REGISTRY)
+        results = list(run_tasks(_tasks("boom", "ok"), options))
+        assert [r.status for r in results] == ["failed", "ok"]
+        assert results[0].attempts == 2
+        assert "boom" in results[0].error
+        assert results[1].rows == [["answer", 42]]
+
+    def test_pool_crash_is_recorded_not_raised(self):
+        options = OrchestratorOptions(jobs=2, retries=1, registry=REGISTRY)
+        results = list(run_tasks(_tasks("boom", "ok"), options))
+        assert [r.status for r in results] == ["failed", "ok"]
+        assert results[0].attempts == 2
+
+    def test_pool_timeout_terminates_worker(self):
+        options = OrchestratorOptions(
+            jobs=2, timeout=1.0, retries=0, registry=REGISTRY
+        )
+        start = time.monotonic()
+        results = list(run_tasks(_tasks("hang", "ok"), options))
+        assert time.monotonic() - start < 30
+        assert [r.status for r in results] == ["timeout", "ok"]
+        assert "timed out" in results[0].error
+
+    def test_pool_retry_succeeds_second_attempt(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLAKY_FLAG", str(tmp_path / "flag"))
+        options = OrchestratorOptions(jobs=2, retries=1, registry=REGISTRY)
+        results = list(run_tasks(_tasks("flaky"), options))
+        assert results[0].status == "ok"
+        assert results[0].attempts == 2
+
+    def test_results_come_back_in_plan_order(self):
+        options = OrchestratorOptions(jobs=3, timeout=5.0, retries=0, registry=REGISTRY)
+        results = list(run_tasks(_tasks("ok", "boom", "ok"), options))
+        assert [r.status for r in results] == ["ok", "failed", "ok"]
+
+
+class TestSerialParallelEquivalence:
+    @pytest.fixture(scope="class")
+    def manifests(self, tmp_path_factory):
+        """The same battery serially and with 4 workers, sharing one
+        on-disk sim cache (the second run also exercises warm reads)."""
+        cache_dir = str(tmp_path_factory.mktemp("simcache"))
+        cfg = ExperimentConfig(scale=256, sim_cache=True, sim_cache_dir=cache_dir)
+        names = ["fig1", "fig3", "fig5"]
+        serial = run_battery(names, cfg, jobs=1)
+        parallel = run_battery(names, cfg, jobs=4)
+        return (
+            build_manifest(serial, jobs=1, run_id="serial"),
+            build_manifest(parallel, jobs=4, run_id="parallel"),
+        )
+
+    def test_all_ok(self, manifests):
+        for manifest in manifests:
+            assert [r["status"] for r in manifest["results"]] == ["ok"] * 3
+
+    def test_bit_identical_comparable_portion(self, manifests):
+        serial, parallel = manifests
+        assert comparable_manifest(serial) == comparable_manifest(parallel)
+
+    def test_rendered_tables_identical(self, manifests):
+        serial, parallel = manifests
+        for a, b in zip(serial["results"], parallel["results"]):
+            ta = ExperimentResult.from_json(a).table()
+            tb = ExperimentResult.from_json(b).table()
+            if not ta.volatile and not tb.volatile:
+                assert ta.render() == tb.render()
+
+    def test_manifest_validates_against_schema(self, manifests, tmp_path):
+        sys.path.insert(0, str(TOOLS))
+        try:
+            from validate_manifest import validate
+        finally:
+            sys.path.remove(str(TOOLS))
+        schema = json.loads(SCHEMA.read_text())
+        for manifest in manifests:
+            validate(manifest, schema)
+
+    def test_write_manifest_atomic_and_readable(self, manifests, tmp_path):
+        path = write_manifest(manifests[0], tmp_path)
+        assert path == tmp_path / "run-serial.json"
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == 1
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestResultRecord:
+    def test_json_roundtrip_renders_identically(self):
+        cfg = ExperimentConfig(sim_cache=False)
+        result = run_battery(["fig4"], cfg)[0]
+        clone = ExperimentResult.from_json(result.to_json())
+        assert clone.table().render() == result.table().render()
+        assert clone.comparable_json() == result.comparable_json()
+        assert clone.detail is None  # detail never crosses serialization
+
+    def test_comparable_json_masks_volatile_columns(self):
+        r = ExperimentResult(
+            experiment="x",
+            headers=("name", "time (ms)"),
+            rows=[["a", 1.23], ["b", 4.56]],
+            volatile_columns=("time (ms)",),
+            timings={"total": 9.0},
+        )
+        data = r.comparable_json()
+        assert data["rows"] == [["a", None], ["b", None]]
+        assert "timings" not in data and "attempts" not in data
+
+    def test_failed_result_schema(self):
+        r = failed_result("fig1", ExperimentConfig(), "boom", status="timeout", attempts=3)
+        assert not r.ok
+        assert "timeout" in r.describe_failure()
+        data = ExperimentResult.from_json(r.to_json())
+        assert data.status == "timeout" and data.attempts == 3
+
+    def test_legacy_passthrough_warns(self):
+        cfg = ExperimentConfig(sim_cache=False)
+        result = run_battery(["fig4"], cfg)[0]
+        with pytest.warns(DeprecationWarning, match="deprecated passthrough"):
+            assert result.optimal_cost == 7
+
+    def test_summary_table_lists_failures(self):
+        ok = ExperimentResult(experiment="fig1", timings={"total": 0.1})
+        bad = failed_result("e9", ExperimentConfig(), "boom", attempts=2)
+        table = summary_table([ok, bad])
+        assert "e9" in table.note and "boom" in table.note
+        assert len(table.rows) == 2

@@ -1,0 +1,76 @@
+"""Multi-process safety of the persistent simulation cache.
+
+Several processes hammer the same key concurrently; the atomic-rename
+protocol must leave no torn files, no stray temporaries, and every read
+must see either a miss or a complete entry.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+from repro.machine.cache import CacheStats
+from repro.machine.hierarchy import HierarchyResult
+from repro.machine.engine.simcache import (
+    FORMAT_VERSION,
+    SimulationCache,
+    SimulationResult,
+)
+
+KEY = "ab" + "0" * 38  # two-char shard prefix + arbitrary tail
+
+
+def _entry(flops: int = 1000) -> SimulationResult:
+    stats = (CacheStats(accesses=10, misses=2, writebacks=1),)
+    return SimulationResult(HierarchyResult(stats, (128,)), flops, 20, 10)
+
+
+def _writer(directory: str, rounds: int) -> None:
+    cache = SimulationCache(directory)
+    value = _entry()
+    for _ in range(rounds):
+        cache.put(KEY, value)
+
+
+def test_concurrent_same_key_writes_never_tear(tmp_path):
+    ctx = multiprocessing.get_context("fork")
+    rounds = 200
+    procs = [
+        ctx.Process(target=_writer, args=(str(tmp_path), rounds)) for _ in range(4)
+    ]
+    for p in procs:
+        p.start()
+
+    # Read concurrently with the writers from a fresh cache each time, so
+    # every get() goes to disk: each must be a miss or a complete entry.
+    reference = _entry()
+    saw_entry = False
+    while any(p.is_alive() for p in procs):
+        got = SimulationCache(str(tmp_path)).get(KEY)
+        if got is not None:
+            saw_entry = True
+            assert got.to_json() == reference.to_json()
+    for p in procs:
+        p.join()
+        assert p.exitcode == 0
+
+    final = SimulationCache(str(tmp_path)).get(KEY)
+    assert final is not None and final.to_json() == reference.to_json()
+    assert saw_entry
+    # the rename protocol leaves no temporaries behind
+    assert not list(tmp_path.rglob("*.tmp"))
+    # and the on-disk bytes are one complete JSON document
+    path = tmp_path / KEY[:2] / f"{KEY}.json"
+    data = json.loads(path.read_text())
+    assert data["version"] == FORMAT_VERSION
+
+
+def test_two_caches_share_the_disk_tier(tmp_path):
+    a = SimulationCache(tmp_path)
+    b = SimulationCache(tmp_path)
+    a.put(KEY, _entry())
+    got = b.get(KEY)
+    assert got is not None
+    assert b.counters.disk_hits == 1
+    assert got.to_json() == _entry().to_json()

@@ -139,12 +139,12 @@ class TestE18:
         from repro.experiments.e18_three_c import run_e18
 
         r = run_e18(ExperimentConfig(scale=256))
-        ex = [row for row in r.rows if row.machine.startswith("Exemplar")]
+        ex = [row for row in r.detail.rows if row.machine.startswith("Exemplar")]
         anomaly = next(row for row in ex if row.kernel == "3w6r")
         clean = next(row for row in ex if row.kernel == "2w5r")
         assert anomaly.classification.conflict > 0
         assert anomaly.classification.conflict_fraction >= 0.4
         assert clean.classification.conflict == 0
-        origin = [row for row in r.rows if row.machine.startswith("Origin")]
+        origin = [row for row in r.detail.rows if row.machine.startswith("Origin")]
         assert all(row.classification.conflict == 0 for row in origin)
         assert "E18" in r.table().render()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Validate a run manifest against ``docs/result.schema.json``.
+
+A dependency-free validator for the subset of JSON Schema the manifest
+schema uses: ``type`` (including type lists), ``enum``, ``properties``,
+``required``, ``items``, ``additionalProperties`` (schema form) and local
+``$ref``s into ``#/definitions``.  CI runs it after every battery::
+
+    python tools/validate_manifest.py results/run-*.json
+
+Exits 0 when every manifest conforms, 1 with a path-qualified message on
+the first violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def _check_type(value, expected, path):
+    names = expected if isinstance(expected, list) else [expected]
+    for name in names:
+        python_type = _TYPES[name]
+        if isinstance(value, python_type):
+            # bool is an int subclass; only accept it where booleans are allowed
+            if isinstance(value, bool) and name in ("integer", "number"):
+                continue
+            return
+    raise ValidationError(
+        f"{path}: expected {' or '.join(names)}, got {type(value).__name__}"
+    )
+
+
+def _resolve(schema, root):
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not ref.startswith("#/"):
+        raise ValidationError(f"unsupported $ref {ref!r} (only local refs)")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(value, schema, root=None, path="$"):
+    """Raise :class:`ValidationError` when ``value`` violates ``schema``."""
+    root = root if root is not None else schema
+    schema = _resolve(schema, root)
+
+    if "type" in schema:
+        _check_type(value, schema["type"], path)
+    if "enum" in schema and value not in schema["enum"]:
+        raise ValidationError(f"{path}: {value!r} not in {schema['enum']!r}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                raise ValidationError(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, item in value.items():
+            if key in properties:
+                validate(item, properties[key], root, f"{path}.{key}")
+            elif isinstance(extra, dict):
+                validate(item, extra, root, f"{path}.{key}")
+    elif isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], root, f"{path}[{i}]")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("manifests", nargs="+", help="run manifest JSON files")
+    parser.add_argument(
+        "--schema",
+        default=str(Path(__file__).resolve().parent.parent / "docs" / "result.schema.json"),
+        help="schema to validate against (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    schema = json.loads(Path(args.schema).read_text())
+    for name in args.manifests:
+        manifest = json.loads(Path(name).read_text())
+        try:
+            validate(manifest, schema)
+        except ValidationError as exc:
+            print(f"{name}: INVALID — {exc}", file=sys.stderr)
+            return 1
+        statuses = [r.get("status") for r in manifest.get("results", [])]
+        print(f"{name}: ok ({len(statuses)} results: "
+              f"{statuses.count('ok')} ok, {len(statuses) - statuses.count('ok')} not ok)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
