@@ -24,12 +24,15 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping, Sequence
 
 from ..machine.engine.simcache import get_sim_cache
+from ..machine.engine.telemetry import collect_sim_telemetry, summarize_levels
 from ..phases import collect_phases
 from .config import ExperimentConfig
 from .report import Table
 
 #: Manifest / result schema version (docs/result.schema.json tracks it).
-SCHEMA_VERSION = 1
+#: v2 added ``sim_levels``: per-level engine names and simulated
+#: accesses/second for every experiment.
+SCHEMA_VERSION = 2
 
 #: Result statuses the orchestrator can record.
 STATUSES = ("ok", "failed", "timeout")
@@ -59,6 +62,7 @@ class ExperimentResult:
     paper_deltas: list[dict[str, Any]] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
     sim_cache: dict[str, int] = field(default_factory=dict)
+    sim_levels: list[dict[str, Any]] = field(default_factory=list)
     detail: Any = None
 
     # -- rendering -----------------------------------------------------------
@@ -100,6 +104,7 @@ class ExperimentResult:
             "paper_deltas": [dict(d) for d in self.paper_deltas],
             "timings": {k: float(v) for k, v in self.timings.items()},
             "sim_cache": {k: int(v) for k, v in self.sim_cache.items()},
+            "sim_levels": [dict(lv) for lv in self.sim_levels],
         }
 
     @classmethod
@@ -118,6 +123,7 @@ class ExperimentResult:
             paper_deltas=[dict(d) for d in data.get("paper_deltas", [])],
             timings=dict(data.get("timings", {})),
             sim_cache=dict(data.get("sim_cache", {})),
+            sim_levels=[dict(lv) for lv in data.get("sim_levels", [])],
         )
 
     def comparable_json(self) -> dict[str, Any]:
@@ -127,6 +133,7 @@ class ExperimentResult:
         data = self.to_json()
         data.pop("timings")
         data.pop("sim_cache")
+        data.pop("sim_levels")  # wall-clock rates; sim-cache hits empty it
         data.pop("attempts")
         volatile = {
             i for i, h in enumerate(self.headers) if h in self.volatile_columns
@@ -236,7 +243,7 @@ def experiment(
             memo = get_sim_cache()
             before = memo.counters.snapshot() if memo is not None else None
             start = time.perf_counter()
-            with collect_phases() as phases:
+            with collect_phases() as phases, collect_sim_telemetry() as sim_tel:
                 detail = fn(*args, **kwargs)
             total = time.perf_counter() - start
             table = detail.table()
@@ -263,6 +270,7 @@ def experiment(
                 paper_deltas=[dict(d) for d in (deltas(detail) if deltas else ())],
                 timings=timings,
                 sim_cache=counters,
+                sim_levels=summarize_levels(sim_tel),
                 detail=detail,
             )
 

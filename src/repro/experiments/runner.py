@@ -78,6 +78,17 @@ def _sim_counters_suffix(result: ExperimentResult) -> str:
     return suffix
 
 
+def _sim_levels_suffix(result: ExperimentResult) -> str:
+    """Engine names and aggregate simulated accesses/second, when any
+    simulation actually ran (sim-cache hits leave this empty)."""
+    accesses = sum(lv.get("accesses", 0) for lv in result.sim_levels)
+    seconds = sum(lv.get("seconds", 0.0) for lv in result.sim_levels)
+    if not accesses or seconds <= 0:
+        return ""
+    engines = sorted({lv["engine"] for lv in result.sim_levels})
+    return f", {'+'.join(engines)} {accesses / seconds / 1e6:.1f} Macc/s"
+
+
 def _print_result(result: ExperimentResult, label: str, charts: bool) -> None:
     if not result.ok:
         print(f"[{label}: {result.status.upper()} after {result.attempts} "
@@ -95,7 +106,8 @@ def _print_result(result: ExperimentResult, label: str, charts: bool) -> None:
             chart = fig3_chart if result.experiment == "fig3" else balance_chart
             print(chart(result.detail))
     total = result.timings.get("total", 0.0)
-    print(f"[{label}: {total:.1f}s{_sim_counters_suffix(result)}]")
+    print(f"[{label}: {total:.1f}s{_sim_counters_suffix(result)}"
+          f"{_sim_levels_suffix(result)}]")
     print()
 
 

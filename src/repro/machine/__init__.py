@@ -5,6 +5,7 @@ from .engine import (
     ENGINES,
     DirectMappedEngine,
     MissCurve,
+    SetAssociativeEngine,
     StackDistanceEngine,
     get_default_engine,
     make_cache,
@@ -38,6 +39,7 @@ __all__ = [
     "MemoryLayout",
     "OptResult",
     "PRESETS",
+    "SetAssociativeEngine",
     "SimulationCache",
     "StackDistanceEngine",
     "TimeBreakdown",

@@ -7,6 +7,9 @@ streams while running one to two orders of magnitude faster:
 
 * :class:`DirectMappedEngine` — associativity-1 levels (the Exemplar's
   PA-8000 data cache) via group-by-set consecutive comparisons in NumPy.
+* :class:`SetAssociativeEngine` — arbitrary A-way LRU write-back/
+  write-allocate levels (the Origin2000's 2-way L1 and L2), with the
+  ordered downstream event stream intermediate levels need.
 * :class:`StackDistanceEngine` — fully-associative LRU levels via Mattson
   stack distances; also exposes :func:`miss_curve`, the exact miss count
   of *every* cache size from one trace pass.
@@ -24,6 +27,7 @@ from ..cache import Cache, CacheGeometry
 from .base import BaseEngine
 from .direct import DirectMappedEngine
 from .distinct import COLD, count_prior_leq, previous_occurrences, reuse_distances
+from .setassoc import SetAssociativeEngine
 from .stack import MissCurve, StackDistanceEngine, miss_curve
 
 #: Engine name -> simulator class.  ``"auto"`` is resolved by
@@ -31,6 +35,7 @@ from .stack import MissCurve, StackDistanceEngine, miss_curve
 ENGINES = {
     "reference": Cache,
     "direct": DirectMappedEngine,
+    "setassoc": SetAssociativeEngine,
     "stack": StackDistanceEngine,
 }
 
@@ -67,15 +72,21 @@ def select_engine(
     * fully-associative write-back/write-allocate *last* levels ->
       :class:`StackDistanceEngine` (exact counters; produces no event
       stream, hence only where nothing downstream consumes events);
-    * everything else -> the reference ``Cache``.
+    * any other write-back/write-allocate level — set-associative at any
+      position, fully-associative *intermediate* ->
+      :class:`SetAssociativeEngine` (exact counters *and* ordered events);
+    * everything else (write-through set-associative) -> the reference
+      ``Cache``.
     """
     name = engine if engine is not None else _default_engine
     if name != "auto":
         return ENGINES[name]
     if geometry.associativity == 1:
         return DirectMappedEngine
-    if geometry.n_sets == 1 and write_back and write_allocate and last_level:
-        return StackDistanceEngine
+    if write_back and write_allocate:
+        if geometry.n_sets == 1 and last_level:
+            return StackDistanceEngine
+        return SetAssociativeEngine
     return Cache
 
 
@@ -101,6 +112,7 @@ __all__ = [
     "DirectMappedEngine",
     "ENGINES",
     "MissCurve",
+    "SetAssociativeEngine",
     "StackDistanceEngine",
     "count_prior_leq",
     "get_default_engine",

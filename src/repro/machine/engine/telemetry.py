@@ -1,0 +1,66 @@
+"""Per-level simulation telemetry: which engine ran, how fast.
+
+The hierarchy wraps every engine ``run`` call in :func:`record_level`;
+any enclosing :func:`collect_sim_telemetry` context accumulates, per
+(level, engine) pair, the accesses simulated and the wall-clock spent.
+The :func:`repro.experiments.result.experiment` decorator opens a
+collector around each experiment and publishes the summary as the
+``sim_levels`` field of the run manifest — so a manifest shows not just
+*what* was measured but *which simulator* produced it and at what
+throughput (the sim-cache can make this empty: a fully memoized
+experiment simulates nothing).
+
+Mirrors :mod:`repro.phases`: a contextvar stack, so collection nests and
+threads safely, and costs one contextvar read when nobody is measuring.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Tuple
+
+#: (level name, engine name) -> [accesses, seconds]
+Accumulator = Dict[Tuple[str, str], List[float]]
+
+_collectors: contextvars.ContextVar[Tuple[Accumulator, ...]] = (
+    contextvars.ContextVar("repro_sim_telemetry", default=())
+)
+
+
+def collecting() -> bool:
+    """True when some enclosing context wants per-level telemetry."""
+    return bool(_collectors.get())
+
+
+def record_level(level: str, engine: str, accesses: int, seconds: float) -> None:
+    """Attribute one engine ``run`` call to every active collector."""
+    for acc in _collectors.get():
+        cell = acc.setdefault((level, engine), [0, 0.0])
+        cell[0] += accesses
+        cell[1] += seconds
+
+
+@contextmanager
+def collect_sim_telemetry() -> Iterator[Accumulator]:
+    """Collect per-(level, engine) simulation work for the block."""
+    acc: Accumulator = {}
+    token = _collectors.set(_collectors.get() + (acc,))
+    try:
+        yield acc
+    finally:
+        _collectors.reset(token)
+
+
+def summarize_levels(acc: Accumulator) -> List[Dict[str, Any]]:
+    """Accumulator -> manifest-ready ``sim_levels`` rows (level order)."""
+    return [
+        {
+            "level": level,
+            "engine": engine,
+            "accesses": int(accesses),
+            "seconds": float(seconds),
+            "accesses_per_sec": float(accesses / seconds) if seconds > 0 else None,
+        }
+        for (level, engine), (accesses, seconds) in acc.items()
+    ]

@@ -52,6 +52,25 @@ def random_trace(
     return addrs.astype(np.int64), rng.random(n) < write_frac
 
 
+def random_geometry(
+    rng: np.random.Generator,
+    *,
+    max_assoc: int = 8,
+    max_sets: int = 37,
+    line_size: int = 32,
+) -> CacheGeometry:
+    """A random set-associative geometry for equivalence sweeps.
+
+    Associativity 2..``max_assoc`` and a set count drawn uniformly from
+    1..``max_sets`` — most draws are *not* powers of two, so the modulo
+    set-indexing path (the Exemplar's 150-set L1 is the real-world case)
+    is exercised as heavily as the masked one.
+    """
+    assoc = int(rng.integers(2, max_assoc + 1))
+    n_sets = int(rng.integers(1, max_sets + 1))
+    return CacheGeometry(n_sets * assoc * line_size, line_size, assoc)
+
+
 def compare_stats(ref, eng, trial: int = 0) -> list[Mismatch]:
     """All counter differences between two simulators."""
     return [

@@ -11,11 +11,13 @@ exactly the traffic the paper measures with hardware counters:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from .cache import Cache, CacheStats
+from .engine import telemetry
 from .spec import MachineSpec
 
 
@@ -69,10 +71,19 @@ class Hierarchy:
 
     def _run_levels(self, addrs: np.ndarray, writes: np.ndarray) -> None:
         last = len(self.caches) - 1
+        measure = telemetry.collecting()
         for i, cache in enumerate(self.caches):
             # Nothing consumes the last level's stream; telling the engine
             # lets it skip materializing events (counters stay exact).
-            addrs, writes = cache.run(addrs, writes, collect_events=i < last)
+            if measure:
+                n = len(addrs)
+                start = time.perf_counter()
+                addrs, writes = cache.run(addrs, writes, collect_events=i < last)
+                telemetry.record_level(
+                    cache.name, cache.engine, n, time.perf_counter() - start
+                )
+            else:
+                addrs, writes = cache.run(addrs, writes, collect_events=i < last)
 
     def run_trace(
         self,
@@ -94,10 +105,19 @@ class Hierarchy:
     def flush(self) -> None:
         """Drain dirty lines of every level down to memory."""
         last = len(self.caches) - 1
+        measure = telemetry.collecting()
         for i, cache in enumerate(self.caches):
             addrs, writes = cache.flush()
             for j, lower in enumerate(self.caches[i + 1 :], start=i + 1):
-                addrs, writes = lower.run(addrs, writes, collect_events=j < last)
+                if measure:
+                    n = len(addrs)
+                    start = time.perf_counter()
+                    addrs, writes = lower.run(addrs, writes, collect_events=j < last)
+                    telemetry.record_level(
+                        lower.name, lower.engine, n, time.perf_counter() - start
+                    )
+                else:
+                    addrs, writes = lower.run(addrs, writes, collect_events=j < last)
 
     def result(self) -> HierarchyResult:
         """Snapshot counters and derived traffic."""

@@ -18,6 +18,7 @@ from repro.interp.executor import execute
 from repro.machine.cache import Cache, CacheGeometry
 from repro.machine.engine import (
     DirectMappedEngine,
+    SetAssociativeEngine,
     StackDistanceEngine,
     make_cache,
     miss_curve,
@@ -245,19 +246,24 @@ class TestSelectionAndHierarchy:
         twoway = CacheGeometry(8 * LINE, LINE, 2)
         assert select_engine(direct) is DirectMappedEngine
         assert select_engine(full) is StackDistanceEngine
-        assert select_engine(full, last_level=False) is Cache
+        # A fully-associative *intermediate* level needs an event stream,
+        # which the stack engine cannot emit; setassoc can.
+        assert select_engine(full, last_level=False) is SetAssociativeEngine
         assert select_engine(full, write_back=False, write_allocate=False) is Cache
-        assert select_engine(twoway) is Cache
+        assert select_engine(twoway) is SetAssociativeEngine
+        assert select_engine(twoway, write_back=False) is Cache
         assert select_engine(direct, engine="reference") is Cache
+        assert select_engine(twoway, engine="setassoc") is SetAssociativeEngine
         assert make_cache("L", direct).engine == "direct"
+        assert make_cache("L", twoway).engine == "setassoc"
 
     def test_spec_builds_selected_engines(self):
         spec = exemplar(128)  # direct-mapped single level
         caches = spec.build_caches()
         assert [c.engine for c in caches] == ["direct"]
         assert [c.engine for c in spec.build_caches("reference")] == ["reference"]
-        origin = origin2000(128)  # 2-way levels -> reference
-        assert all(c.engine == "reference" for c in origin.build_caches())
+        origin = origin2000(128)  # 2-way levels -> setassoc on every level
+        assert [c.engine for c in origin.build_caches()] == ["setassoc", "setassoc"]
 
     @pytest.mark.parametrize("engine", ["reference", "auto"])
     def test_chunked_streaming_is_invisible(self, engine):
@@ -278,8 +284,9 @@ class TestSelectionAndHierarchy:
         assert whole.result().downstream_bytes == chunked.result().downstream_bytes
 
     def test_multi_level_auto_matches_reference(self):
-        # Origin 2000: 2-way L1/L2 -> auto selects the reference engine,
-        # so equality is structural; run it anyway as a wiring check.
+        # Origin 2000: 2-way L1/L2 -> auto selects setassoc on both
+        # levels, so this checks the full vectorized hierarchy (ordered
+        # L1 events feeding L2) against the reference dict loop.
         spec = origin2000(256)
         rng = np.random.default_rng(21)
         addrs = (rng.integers(0, 4000, 8000) * 8).astype(np.int64)

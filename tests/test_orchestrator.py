@@ -176,7 +176,9 @@ class TestSerialParallelEquivalence:
         path = write_manifest(manifests[0], tmp_path)
         assert path == tmp_path / "run-serial.json"
         data = json.loads(path.read_text())
-        assert data["schema_version"] == 1
+        from repro.experiments.result import SCHEMA_VERSION
+
+        assert data["schema_version"] == SCHEMA_VERSION
         assert not list(tmp_path.glob("*.tmp"))
 
 

@@ -1,0 +1,160 @@
+"""SetAssociativeEngine: bit-identity on counters, events, and state.
+
+The set-associative engine is the one that runs the paper's headline
+machine (every Origin2000/R10K level is 2-way), so its equivalence bar
+is the full one: counters, the *ordered* downstream event stream, the
+flush drain, and cache contents persisted across chunk boundaries must
+all match the reference ``Cache`` exactly — on power-of-two and
+non-power-of-two set counts, associativities past the closed-form A <= 2
+fast path, and the Exemplar's footnote-3 conflict anomaly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineError
+from repro.machine.cache import Cache, CacheGeometry
+from repro.machine.engine import SetAssociativeEngine, select_engine
+from repro.machine.engine.verify import (
+    assert_equivalent,
+    check_equivalence,
+    random_geometry,
+)
+from repro.machine.hierarchy import Hierarchy
+from repro.machine.presets import exemplar, origin2000
+from tests.test_engine import LINE, _drive_pair, trace_batches
+
+
+class TestSetAssociativeEquivalence:
+    @given(
+        assoc=st.integers(2, 8),
+        n_sets=st.sampled_from([1, 2, 3, 5, 7, 8, 13, 150]),
+        batches=trace_batches(max_lines=96),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_exactly(self, assoc, n_sets, batches):
+        # Multiple batches per example drive the warm-state prologue: the
+        # engine must splice persisted residents back in bit-identically.
+        geom = CacheGeometry(n_sets * assoc * LINE, LINE, assoc)
+        ref = Cache("L", geom)
+        eng = SetAssociativeEngine("L", geom)
+        _drive_pair(ref, eng, batches)
+
+    @given(batches=trace_batches(max_lines=24))
+    @settings(max_examples=40, deadline=None)
+    def test_direct_mapped_geometry_matches_too(self, batches):
+        # A == 1 exercises the degenerate closed form (every run is a
+        # tenure); the direct engine normally owns this geometry, but
+        # ``--engine setassoc`` forces it here and must stay exact.
+        geom = CacheGeometry(8 * LINE, LINE, 1)
+        _drive_pair(Cache("L", geom), SetAssociativeEngine("L", geom), batches)
+
+    def test_randomized_harness_across_geometries(self):
+        # Dense fixed sweep: closed-form (A <= 2) and general (A >= 3)
+        # paths, tiny counting-sort set counts and radix-sorted ones.
+        for assoc in (2, 3, 4, 8):
+            for n_sets in (1, 2, 5, 7, 16, 33):
+                assert_equivalent(
+                    SetAssociativeEngine,
+                    CacheGeometry(n_sets * assoc * LINE, LINE, assoc),
+                    trials=15,
+                    seed=assoc * 100 + n_sets,
+                    flush_prob=0.4,
+                )
+
+    def test_randomized_harness_on_random_geometries(self):
+        rng = np.random.default_rng(7)
+        for trial in range(12):
+            geom = random_geometry(rng)
+            mismatches = check_equivalence(
+                SetAssociativeEngine, geom, trials=10, seed=trial
+            )
+            assert not mismatches, (geom, mismatches[:3])
+
+    def test_rejects_non_writeback_policies(self):
+        geom = CacheGeometry(4 * LINE, LINE, 2)
+        with pytest.raises(MachineError):
+            SetAssociativeEngine("L", geom, write_back=False, write_allocate=False)
+        with pytest.raises(MachineError):
+            SetAssociativeEngine("L", geom, write_back=True, write_allocate=False)
+        # auto never routes those policies here
+        assert select_engine(geom, write_back=False, write_allocate=False) is Cache
+
+
+class TestChunkedStreaming:
+    @pytest.mark.parametrize("spec_fn", [origin2000, exemplar])
+    def test_chunk_boundaries_are_invisible(self, spec_fn):
+        # Same trace, whole vs 257-access chunks: persisted state must
+        # make every counter and the downstream traffic bit-identical.
+        spec = spec_fn(128)
+        rng = np.random.default_rng(13)
+        addrs = (rng.integers(0, 3000, 6000) * 8).astype(np.int64)
+        writes = rng.random(6000) < 0.3
+        whole = Hierarchy.from_spec(spec, "setassoc")
+        whole.run_trace(addrs, writes)
+        whole.flush()
+        chunked = Hierarchy.from_spec(spec, "setassoc", chunk_size=257)
+        chunked.run_trace(addrs, writes)
+        chunked.flush()
+        for a, b in zip(whole.result().level_stats, chunked.result().level_stats):
+            assert vars(a) == vars(b)
+        assert whole.result().downstream_bytes == chunked.result().downstream_bytes
+
+    def test_chunked_events_match_reference_stream(self):
+        # The ordered event stream itself — not just counters — must be
+        # identical across chunk boundaries, or downstream levels would
+        # see a different trace.
+        geom = CacheGeometry(6 * LINE, LINE, 2)
+        rng = np.random.default_rng(29)
+        addrs = (rng.integers(0, 40, 1200) * LINE).astype(np.int64)
+        writes = rng.random(1200) < 0.4
+        ref = Cache("L", geom)
+        r_out = [ref.run(addrs, writes), ref.flush()]
+        eng = SetAssociativeEngine("L", geom)
+        e_lines, e_writes = [], []
+        for start in range(0, 1200, 111):
+            out, w = eng.run(addrs[start : start + 111], writes[start : start + 111])
+            e_lines.append(out)
+            e_writes.append(w)
+        fl = eng.flush()
+        np.testing.assert_array_equal(
+            np.concatenate([r_out[0][0], r_out[1][0]]),
+            np.concatenate(e_lines + [fl[0]]),
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([r_out[0][1], r_out[1][1]]),
+            np.concatenate(e_writes + [fl[1]]),
+        )
+        for f in ("accesses", "hits", "misses", "evictions", "writebacks"):
+            assert getattr(ref.stats, f) == getattr(eng.stats, f), f
+
+
+class TestExemplarAnomaly:
+    def test_footnote3_conflict_anomaly_stays_exact(self):
+        # The 3w6r kernel's five arrays at C + C/5 spacing collide in the
+        # Exemplar's direct-mapped cache (the paper's footnote 3).  Forcing
+        # the setassoc engine onto that geometry must reproduce the
+        # anomalous miss counts access-for-access, not just statistically.
+        from repro.experiments.config import ExperimentConfig
+        from repro.machine.layout import build_layout
+        from repro.programs import make_kernel
+        from repro.trace.generator import TraceGenerator
+
+        cfg = ExperimentConfig()
+        spec = cfg.exemplar
+        prog = make_kernel("3w6r", cfg.exemplar_kernel_elements())
+        bound = prog.bind_params(None)
+        layout = build_layout(prog, bound, spec.default_layout)
+        tr = TraceGenerator(prog, bound, layout).generate()
+        geom = spec.cache_levels[0].geometry
+        ref = Cache("L1", geom)
+        eng = SetAssociativeEngine("L1", geom)
+        _drive_pair(ref, eng, [(tr.addresses, tr.is_write)])
+        # The anomaly is real on this geometry: conflict misses at least
+        # double the compulsory floor (every distinct line once).
+        distinct = len(np.unique(tr.addresses // geom.line_size))
+        assert ref.stats.misses >= 2 * distinct

