@@ -34,6 +34,7 @@ _API_EXPORTS = (
     "run_experiment",
     "run_experiments",
     "simulate",
+    "simulate_stream",
 )
 
 __all__ = ["__version__", "api", *_API_EXPORTS]

@@ -173,6 +173,50 @@ def simulate(
     )
 
 
+def simulate_stream(
+    program: Program,
+    machine: MachineSpec,
+    *,
+    params: Mapping[str, int] | None = None,
+    engine: str | None = None,
+    passes: int = 1,
+    warmup_passes: int = 0,
+    chunk_accesses: int | None = None,
+    overlap: bool = True,
+) -> SimulationResult:
+    """:func:`simulate` with the streaming trace pipeline: the access
+    trace is generated in bounded chunks fused with hierarchy simulation
+    (and, with ``overlap``, prefetched on a background thread), so peak
+    memory is O(chunk) instead of O(trace).  Counters and timings are
+    bit-identical to :func:`simulate` — engines persist state across
+    chunks by contract.
+    """
+    run = execute(
+        program,
+        machine,
+        params=params,
+        engine=engine,
+        passes=passes,
+        warmup_passes=warmup_passes,
+        stream="overlap" if overlap else "serial",
+        chunk_accesses=chunk_accesses,
+    )
+    return SimulationResult(
+        program=run.program,
+        machine=machine.name,
+        seconds=run.seconds,
+        mflops=run.mflops,
+        flops=run.counters.graduated_flops,
+        loads=run.counters.loads,
+        stores=run.counters.stores,
+        channel_names=machine.level_names,
+        channel_bytes=run.counters.channel_bytes,
+        memory_bytes=run.counters.memory_bytes,
+        effective_bandwidth=run.effective_bandwidth,
+        run=run,
+    )
+
+
 def measure_balance(program: Program, machine: MachineSpec) -> BalanceReport:
     """The paper's part-1 measurement: balance, ratios, utilization bound."""
     run = execute(program, machine)
@@ -258,4 +302,5 @@ __all__ = [
     "run_experiment",
     "run_experiments",
     "simulate",
+    "simulate_stream",
 ]

@@ -36,6 +36,8 @@ class ExperimentConfig:
     engine: str = "auto"  # cache-simulation engine (see repro.machine.engine)
     sim_cache: bool = True  # content-keyed simulation memo on/off
     sim_cache_dir: str | None = None  # persistent tier directory (None = memory only)
+    stream: bool = False  # chunked trace pipeline with producer/consumer overlap
+    chunk_accesses: int | None = None  # accesses per streamed chunk (None = default)
 
     def apply(self) -> None:
         """Install this config's engine and sim-cache settings as the
@@ -45,10 +47,12 @@ class ExperimentConfig:
         Idempotent: when the current process default already matches, the
         cache is left alone so its in-memory memo survives across the
         experiments of one serial battery."""
+        from ..interp.executor import configure_streaming
         from ..machine.engine import set_default_engine
         from ..machine.engine.simcache import configure_sim_cache, get_sim_cache
 
         set_default_engine(self.engine)
+        configure_streaming(self.stream, self.chunk_accesses)
         current = get_sim_cache()
         matches = (
             current is not None

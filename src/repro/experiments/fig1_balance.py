@@ -110,7 +110,11 @@ def run_fig1(config: ExperimentConfig | None = None) -> Fig1Result:
     balances: list[ProgramBalance] = []
     runs: list[MachineRun] = []
     for name, prog in _workloads(config):
-        run = execute(prog, machine)
+        # The config decides the trace pipeline explicitly, so direct
+        # calls behave exactly like orchestrated workers.
+        run = execute(
+            prog, machine, stream=config.stream, chunk_accesses=config.chunk_accesses
+        )
         balance = program_balance(run)
         # Report under the figure's display name.
         balances.append(

@@ -88,12 +88,23 @@ class Fig3Result:
 
 
 def _run_suite(
-    machine: MachineSpec, n: int, layout_policy: LayoutPolicy | None = None
+    machine: MachineSpec,
+    n: int,
+    layout_policy: LayoutPolicy | None = None,
+    config: ExperimentConfig | None = None,
 ) -> Fig3Machine:
     runs: dict[str, MachineRun] = {}
     for name in KERNEL_NAMES:
         prog = make_kernel(name, n)
-        runs[name] = execute(prog, machine, layout_policy=layout_policy)
+        runs[name] = execute(
+            prog,
+            machine,
+            layout_policy=layout_policy,
+            # The config decides the trace pipeline explicitly, so direct
+            # calls behave exactly like orchestrated workers.
+            stream=config.stream if config is not None else None,
+            chunk_accesses=config.chunk_accesses if config is not None else None,
+        )
     return Fig3Machine(machine, runs, n)
 
 
@@ -114,11 +125,11 @@ def _fig3_deltas(result: Fig3Result) -> list[dict]:
 @experiment("fig3", deltas=_fig3_deltas)
 def run_fig3(config: ExperimentConfig | None = None) -> Fig3Result:
     config = config or ExperimentConfig()
-    origin = _run_suite(config.origin, config.stream_elements())
+    origin = _run_suite(config.origin, config.stream_elements(), config=config)
     n_ex = config.exemplar_kernel_elements()
-    exemplar = _run_suite(config.exemplar, n_ex)
+    exemplar = _run_suite(config.exemplar, n_ex, config=config)
     # Ablation: one extra cache line between arrays breaks the period-5
     # alignment, so 3w6r recovers.
     padded_policy = LayoutPolicy(alignment=32, pad_bytes=32)
-    exemplar_padded = _run_suite(config.exemplar, n_ex, padded_policy)
+    exemplar_padded = _run_suite(config.exemplar, n_ex, padded_policy, config=config)
     return Fig3Result(origin, exemplar, exemplar_padded)

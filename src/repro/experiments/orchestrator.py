@@ -331,8 +331,8 @@ def summary_table(results: Sequence[ExperimentResult]) -> Table:
     """The orchestrator's closing summary: one row per experiment."""
     t = Table(
         "Run summary",
-        ("experiment", "scale", "status", "attempts", "time (s)", "sim cache"),
-        volatile=("time (s)", "sim cache"),
+        ("experiment", "scale", "status", "attempts", "time (s)", "sim cache", "peak MB"),
+        volatile=("time (s)", "sim cache", "peak MB"),
     )
     for r in results:
         cache = ""
@@ -340,6 +340,7 @@ def summary_table(results: Sequence[ExperimentResult]) -> Table:
             cache = f"{r.sim_cache.get('hits', 0)}h/{r.sim_cache.get('misses', 0)}m"
             if r.sim_cache.get("disk_hits"):
                 cache += f" ({r.sim_cache['disk_hits']} disk)"
+        rss = r.memory.get("peak_rss_bytes")
         t.add(
             r.experiment,
             r.config.get("scale", "-"),
@@ -347,6 +348,7 @@ def summary_table(results: Sequence[ExperimentResult]) -> Table:
             r.attempts,
             r.timings.get("total", 0.0),
             cache,
+            f"{rss / 2**20:.0f}" if rss else "",
         )
     failures = [r for r in results if not r.ok]
     if failures:

@@ -26,13 +26,20 @@ from typing import Any, Callable, Mapping, Sequence
 from ..machine.engine.simcache import get_sim_cache
 from ..machine.engine.telemetry import collect_sim_telemetry, summarize_levels
 from ..phases import collect_phases
+from ..trace.telemetry import (
+    collect_trace_telemetry,
+    summarize_memory,
+    summarize_stream,
+)
 from .config import ExperimentConfig
 from .report import Table
 
 #: Manifest / result schema version (docs/result.schema.json tracks it).
 #: v2 added ``sim_levels``: per-level engine names and simulated
-#: accesses/second for every experiment.
-SCHEMA_VERSION = 2
+#: accesses/second for every experiment.  v3 added ``memory`` (peak RSS
+#: and generated trace bytes) and ``stream`` (producer/consumer overlap
+#: accounting when the chunked trace pipeline ran).
+SCHEMA_VERSION = 3
 
 #: Result statuses the orchestrator can record.
 STATUSES = ("ok", "failed", "timeout")
@@ -63,6 +70,8 @@ class ExperimentResult:
     timings: dict[str, float] = field(default_factory=dict)
     sim_cache: dict[str, int] = field(default_factory=dict)
     sim_levels: list[dict[str, Any]] = field(default_factory=list)
+    memory: dict[str, int] = field(default_factory=dict)
+    stream: dict[str, Any] = field(default_factory=dict)
     detail: Any = None
 
     # -- rendering -----------------------------------------------------------
@@ -105,6 +114,8 @@ class ExperimentResult:
             "timings": {k: float(v) for k, v in self.timings.items()},
             "sim_cache": {k: int(v) for k, v in self.sim_cache.items()},
             "sim_levels": [dict(lv) for lv in self.sim_levels],
+            "memory": {k: int(v) for k, v in self.memory.items()},
+            "stream": dict(self.stream),
         }
 
     @classmethod
@@ -124,6 +135,8 @@ class ExperimentResult:
             timings=dict(data.get("timings", {})),
             sim_cache=dict(data.get("sim_cache", {})),
             sim_levels=[dict(lv) for lv in data.get("sim_levels", [])],
+            memory=dict(data.get("memory", {})),
+            stream=dict(data.get("stream", {})),
         )
 
     def comparable_json(self) -> dict[str, Any]:
@@ -134,6 +147,8 @@ class ExperimentResult:
         data.pop("timings")
         data.pop("sim_cache")
         data.pop("sim_levels")  # wall-clock rates; sim-cache hits empty it
+        data.pop("memory")  # peak RSS varies run to run
+        data.pop("stream")  # overlap seconds are wall-clock
         data.pop("attempts")
         volatile = {
             i for i, h in enumerate(self.headers) if h in self.volatile_columns
@@ -243,7 +258,11 @@ def experiment(
             memo = get_sim_cache()
             before = memo.counters.snapshot() if memo is not None else None
             start = time.perf_counter()
-            with collect_phases() as phases, collect_sim_telemetry() as sim_tel:
+            with (
+                collect_phases() as phases,
+                collect_sim_telemetry() as sim_tel,
+                collect_trace_telemetry() as trace_tel,
+            ):
                 detail = fn(*args, **kwargs)
             total = time.perf_counter() - start
             table = detail.table()
@@ -271,6 +290,8 @@ def experiment(
                 timings=timings,
                 sim_cache=counters,
                 sim_levels=summarize_levels(sim_tel),
+                memory=summarize_memory(trace_tel),
+                stream=summarize_stream(trace_tel),
                 detail=detail,
             )
 

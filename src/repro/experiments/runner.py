@@ -89,6 +89,22 @@ def _sim_levels_suffix(result: ExperimentResult) -> str:
     return f", {'+'.join(engines)} {accesses / seconds / 1e6:.1f} Macc/s"
 
 
+def _memory_suffix(result: ExperimentResult) -> str:
+    """Peak RSS and streaming-overlap accounting, when recorded."""
+    parts = []
+    rss = result.memory.get("peak_rss_bytes")
+    if rss:
+        parts.append(f"peak rss {rss / 2**20:.0f} MB")
+    if result.stream:
+        chunks = result.stream.get("chunks", 0)
+        overlap = result.stream.get("overlap")
+        note = f"stream {chunks} chunks"
+        if overlap is not None:
+            note += f", {overlap:.0%} gen hidden"
+        parts.append(note)
+    return ", " + ", ".join(parts) if parts else ""
+
+
 def _print_result(result: ExperimentResult, label: str, charts: bool) -> None:
     if not result.ok:
         print(f"[{label}: {result.status.upper()} after {result.attempts} "
@@ -107,7 +123,7 @@ def _print_result(result: ExperimentResult, label: str, charts: bool) -> None:
             print(chart(result.detail))
     total = result.timings.get("total", 0.0)
     print(f"[{label}: {total:.1f}s{_sim_counters_suffix(result)}"
-          f"{_sim_levels_suffix(result)}]")
+          f"{_sim_levels_suffix(result)}{_memory_suffix(result)}]")
     print()
 
 
@@ -155,6 +171,20 @@ def main(argv: list[str] | None = None) -> int:
         help="directory of the persistent simulation cache (default: %(default)s)",
     )
     parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream traces: chunked generation fused with simulation and "
+        "prefetched on a background thread (bounded memory, identical counters)",
+    )
+    parser.add_argument(
+        "--chunk-accesses",
+        type=int,
+        default=None,
+        metavar="N",
+        help="accesses per streamed chunk (default: 4Mi; implies nothing "
+        "unless --stream is given)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -189,6 +219,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.chunk_accesses is not None and args.chunk_accesses <= 0:
+        parser.error("--chunk-accesses must be positive")
 
     wanted = list(_EXPERIMENTS) if "all" in args.experiments else args.experiments
     scales = args.scale
@@ -196,6 +228,8 @@ def main(argv: list[str] | None = None) -> int:
         engine=args.engine,
         sim_cache=not args.no_sim_cache,
         sim_cache_dir=None if args.no_sim_cache else args.sim_cache_dir,
+        stream=args.stream,
+        chunk_accesses=args.chunk_accesses,
     )
     base_cfg.apply()  # in-process runs simulate in this process
 
@@ -209,7 +243,9 @@ def main(argv: list[str] | None = None) -> int:
           + " of the paper's cache sizes")
     cache_desc = "off" if args.no_sim_cache else f"on ({args.sim_cache_dir})"
     mode = "in-process serial" if not options.use_processes else f"{args.jobs} worker(s)"
-    print(f"engine: {args.engine}, sim cache: {cache_desc}, mode: {mode}\n")
+    pipeline = "streamed" if args.stream else "materialized"
+    print(f"engine: {args.engine}, sim cache: {cache_desc}, "
+          f"trace pipeline: {pipeline}, mode: {mode}\n")
 
     results: list[ExperimentResult] = []
     for task, result in zip(tasks, run_tasks(tasks, options)):

@@ -31,7 +31,10 @@ from ..machine.timing import (
     overlap_time,
 )
 from ..phases import SIMULATE, TRACE_GEN, phase
+from ..trace import telemetry as trace_telemetry
+from ..trace.events import Trace
 from ..trace.generator import TraceGenerator
+from ..trace.stream import prefetch_chunks
 from .counters import HardwareCounters
 
 
@@ -74,6 +77,39 @@ class MachineRun:
         )
 
 
+# Process-wide streaming defaults, installed by ExperimentConfig.apply()
+# (and the --stream / --chunk-accesses CLI flags) so orchestrator workers
+# and figure code pick up the pipeline without threading arguments through
+# every call site.
+_stream_default: bool | str = False
+_chunk_accesses_default: int | None = None
+
+
+def configure_streaming(
+    stream: bool | str = False, chunk_accesses: int | None = None
+) -> None:
+    """Set the process-default trace pipeline for :func:`execute`.
+
+    ``stream`` may be False (materialize the whole trace), True /
+    ``"overlap"`` (chunked generation fused with simulation, generation
+    prefetched on a background thread), or ``"serial"`` (chunked, no
+    prefetch thread).  ``chunk_accesses`` bounds accesses per chunk
+    (None = :data:`repro.trace.generator.DEFAULT_CHUNK_ACCESSES`).
+    """
+    global _stream_default, _chunk_accesses_default
+    if stream not in (False, True, "overlap", "serial"):
+        raise ValueError(f"stream must be False, True, 'overlap' or 'serial', got {stream!r}")
+    if chunk_accesses is not None and chunk_accesses <= 0:
+        raise ValueError("chunk_accesses must be positive")
+    _stream_default = stream
+    _chunk_accesses_default = chunk_accesses
+
+
+def get_streaming() -> tuple[bool | str, int | None]:
+    """Current process-default (stream, chunk_accesses)."""
+    return _stream_default, _chunk_accesses_default
+
+
 def execute(
     program: Program,
     machine: MachineSpec,
@@ -86,6 +122,8 @@ def execute(
     validate: bool = True,
     engine: str | None = None,
     sim_cache: SimulationCache | bool | None = None,
+    stream: bool | str | None = None,
+    chunk_accesses: int | None = None,
 ) -> MachineRun:
     """Run ``program`` on ``machine`` and measure it.
 
@@ -105,7 +143,25 @@ def execute(
             the process default (in-memory, always exact), ``False``
             disables caching for this call, or pass an explicit
             :class:`SimulationCache`.
+        stream: trace pipeline. ``False`` materializes the full trace
+            before simulating; ``True`` / ``"overlap"`` generates in
+            chunks fused with simulation, with generation prefetched on
+            a background thread; ``"serial"`` streams without the
+            prefetch thread.  ``None`` uses the process default (see
+            :func:`configure_streaming`).  Counters are bit-identical
+            either way — engines persist state across chunks.
+        chunk_accesses: accesses per streamed chunk (None = process
+            default, falling back to
+            :data:`repro.trace.generator.DEFAULT_CHUNK_ACCESSES`).
     """
+    if stream is None:
+        stream = _stream_default
+    elif stream not in (False, True, "overlap", "serial"):
+        raise ExecutionError(
+            f"stream must be False, True, 'overlap' or 'serial', got {stream!r}"
+        )
+    if chunk_accesses is None:
+        chunk_accesses = _chunk_accesses_default
     bound = program.bind_params(params)
     if layout is None:
         layout = build_layout(program, bound, layout_policy or machine.default_layout)
@@ -137,12 +193,27 @@ def execute(
             cached.loads,
             cached.stores,
         )
+    elif stream:
+        result, trace_flops, trace_loads, trace_stores = _execute_streamed(
+            program,
+            machine,
+            bound,
+            layout,
+            validate,
+            engine,
+            passes,
+            warmup_passes,
+            flush,
+            stream,
+            chunk_accesses,
+        )
     else:
         with phase(TRACE_GEN):
             gen = TraceGenerator(program, bound, layout, validate=validate)
             trace = gen.generate()
         if len(trace) == 0 and trace.flops == 0:
             raise ExecutionError(f"program {program.name!r} generates no work")
+        trace_telemetry.record_trace_bytes(trace.nbytes)
 
         with phase(SIMULATE):
             hierarchy = Hierarchy.from_spec(machine, engine)
@@ -158,11 +229,14 @@ def execute(
                 hierarchy.flush()
             result = hierarchy.result()
         trace_flops, trace_loads, trace_stores = trace.flops, trace.loads, trace.stores
-        if memo is not None and key is not None:
-            memo.put(
-                key,
-                SimulationResult(result, trace_flops, trace_loads, trace_stores),
-            )
+
+    if cached is None and memo is not None and key is not None:
+        # Streamed and materialized runs are bit-identical, so they share
+        # cache entries (the key does not encode the pipeline).
+        memo.put(
+            key,
+            SimulationResult(result, trace_flops, trace_loads, trace_stores),
+        )
 
     flops = trace_flops * passes
     loads = trace_loads * passes
@@ -192,3 +266,67 @@ def execute(
         latency_time=lat,
         overlap4_time=ov4,
     )
+
+
+def _timed_chunks(gen: TraceGenerator, chunk_accesses: int | None):
+    """Iterate the generator's chunks with each generation step timed
+    under the TRACE_GEN phase (runs on the producer thread when the
+    stream is prefetched; the phase collector is threadsafe)."""
+    it = gen.chunks(chunk_accesses) if chunk_accesses else gen.chunks()
+    while True:
+        with phase(TRACE_GEN):
+            try:
+                chunk: Trace = next(it)
+            except StopIteration:
+                return
+        yield chunk
+
+
+def _execute_streamed(
+    program: Program,
+    machine: MachineSpec,
+    bound: Mapping[str, int],
+    layout: MemoryLayout,
+    validate: bool,
+    engine: str | None,
+    passes: int,
+    warmup_passes: int,
+    flush: bool,
+    stream: bool | str,
+    chunk_accesses: int | None,
+):
+    """Chunked-generation pipeline: each pass regenerates the chunk
+    stream and fuses it with hierarchy simulation, so peak memory is
+    O(chunk), never O(trace).  Returns (result, flops, loads, stores)
+    for one pass, exactly like the materialized path."""
+    with phase(TRACE_GEN):
+        gen = TraceGenerator(program, bound, layout, validate=validate)
+    hierarchy = Hierarchy.from_spec(machine, engine)
+
+    def one_pass():
+        chunks = _timed_chunks(gen, chunk_accesses)
+        if stream in (True, "overlap"):
+            chunks = prefetch_chunks(chunks)
+        # SIMULATE here is consumer wall-clock; with prefetch it runs
+        # concurrently with TRACE_GEN, so phase sums can exceed elapsed.
+        with phase(SIMULATE):
+            return hierarchy.run_stream(chunks)
+
+    totals = None
+    for _ in range(warmup_passes):
+        totals = one_pass()
+    if warmup_passes:
+        for cache in hierarchy.caches:
+            cache.reset_stats()
+    for _ in range(passes):
+        totals = one_pass()
+    if totals is None:  # passes == warmup_passes == 0
+        totals = one_pass()
+        hierarchy.reset()
+    if totals.accesses == 0 and totals.flops == 0:
+        raise ExecutionError(f"program {program.name!r} generates no work")
+    if flush:
+        with phase(SIMULATE):
+            hierarchy.flush()
+    trace_telemetry.record_trace_bytes(totals.accesses * 9)
+    return hierarchy.result(), totals.flops, totals.loads, totals.stores

@@ -13,12 +13,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 from .cache import Cache, CacheStats
 from .engine import telemetry
 from .spec import MachineSpec
+
+if TYPE_CHECKING:
+    from ..trace.events import Trace
 
 
 @dataclass(frozen=True)
@@ -39,6 +43,17 @@ class HierarchyResult:
             tuple(a.merged(b) for a, b in zip(self.level_stats, other.level_stats)),
             tuple(a + b for a, b in zip(self.downstream_bytes, other.downstream_bytes)),
         )
+
+
+@dataclass(frozen=True)
+class StreamTotals:
+    """What one consumed chunk stream contained (one pass worth)."""
+
+    chunks: int
+    accesses: int
+    flops: int
+    loads: int
+    stores: int
 
 
 #: Accesses pushed through the level stack per chunk.  Chunking bounds the
@@ -101,6 +116,25 @@ class Hierarchy:
             self._run_levels(
                 byte_addrs[start : start + chunk], is_write[start : start + chunk]
             )
+
+    def run_stream(self, chunks: Iterable["Trace"]) -> "StreamTotals":
+        """Consume an ordered chunk stream (e.g.
+        :meth:`TraceGenerator.chunks`) through all levels, one chunk at a
+        time, and return what the stream contained.
+
+        Engines persist cache contents across ``run`` calls, so this is
+        bit-identical to :meth:`run_trace` over the concatenated stream —
+        but peak memory is one chunk, not one trace.
+        """
+        n_chunks = accesses = flops = loads = stores = 0
+        for chunk in chunks:
+            self.run_trace(chunk.addresses, chunk.is_write)
+            n_chunks += 1
+            accesses += len(chunk)
+            flops += chunk.flops
+            loads += chunk.loads
+            stores += chunk.stores
+        return StreamTotals(n_chunks, accesses, flops, loads, stores)
 
     def flush(self) -> None:
         """Drain dirty lines of every level down to memory."""

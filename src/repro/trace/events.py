@@ -9,6 +9,7 @@ simulator can consume them directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -37,6 +38,13 @@ class Trace:
         """Register<->L1 traffic: every executed element access moves one
         element between the register file and L1 (8-byte elements)."""
         return 8 * (self.loads + self.stores)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes this trace occupies in memory (9 per access: int64
+        address + bool write flag) — the quantity the streaming pipeline
+        bounds per chunk instead of paying for the whole run."""
+        return self.addresses.nbytes + self.is_write.nbytes
 
     def concat(self, other: "Trace") -> "Trace":
         return Trace(
@@ -68,6 +76,10 @@ EMPTY_TRACE = Trace(
 def concat_traces(traces: list[Trace]) -> Trace:
     if not traces:
         return EMPTY_TRACE
+    if len(traces) == 1:
+        # np.concatenate of a single array still copies it; a singleton
+        # body (the common case) must not double its peak memory.
+        return traces[0]
     return Trace(
         np.concatenate([t.addresses for t in traces]),
         np.concatenate([t.is_write for t in traces]),
@@ -75,3 +87,26 @@ def concat_traces(traces: list[Trace]) -> Trace:
         sum(t.loads for t in traces),
         sum(t.stores for t in traces),
     )
+
+
+def iter_chunks(trace: Trace, max_accesses: int) -> Iterator[Trace]:
+    """Split an in-memory trace into execution-order chunks of at most
+    ``max_accesses`` accesses each (views, no copies).
+
+    Per-chunk ``loads``/``stores`` are exact for the slice; the scalar
+    ``flops`` total rides on the final chunk (flops have no position in
+    the access stream), so chunk totals always sum to the trace totals.
+    """
+    if max_accesses <= 0:
+        raise ValueError("max_accesses must be positive")
+    n = len(trace)
+    if n == 0:
+        if trace.flops:
+            yield trace
+        return
+    for start in range(0, n, max_accesses):
+        addrs = trace.addresses[start : start + max_accesses]
+        writes = trace.is_write[start : start + max_accesses]
+        stores = int(writes.sum())
+        last = start + max_accesses >= n
+        yield Trace(addrs, writes, trace.flops if last else 0, len(addrs) - stores, stores)

@@ -19,12 +19,22 @@ matrix entirely (fast path).
 
 Loops must be rectangular: bounds may use parameters but not enclosing
 loop variables (all of the paper's codes satisfy this).
+
+Two generation modes share the machinery:
+
+* :meth:`TraceGenerator.generate` materializes the whole trace at once
+  into one pre-sized buffer (a cheap counting pass sizes it, so no
+  per-statement concatenation copies);
+* :meth:`TraceGenerator.chunks` *streams* the trace: the iteration grid
+  is sliced along each top-level loop's outermost axis and the slices
+  are yielded as :class:`Trace` chunks in exact execution order, so the
+  full row matrix never exists — peak memory is O(chunk), not O(trace).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -33,7 +43,10 @@ from ..lang.expr import ArrayRef, array_refs, flop_count
 from ..lang.program import Program
 from ..lang.stmt import Assign, ExternalRead, If, Loop, Stmt
 from ..machine.layout import MemoryLayout, build_layout
-from .events import EMPTY_TRACE, Trace, concat_traces
+from .events import EMPTY_TRACE, Trace
+
+#: Default accesses per streamed chunk (~36 MB of trace at 9 B/access).
+DEFAULT_CHUNK_ACCESSES = 4 << 20
 
 
 @dataclass
@@ -85,8 +98,53 @@ class TraceGenerator:
 
     # -- public API ----------------------------------------------------------
     def generate(self) -> Trace:
-        """The full program trace."""
-        return concat_traces([self.statement_trace(i) for i in range(len(self.program.body))])
+        """The full program trace.
+
+        Multi-statement bodies are written straight into one pre-sized
+        output buffer (a counting pass computes each statement's emitted
+        length first), so peak memory is the final trace plus one
+        statement's working set — not double the trace, as per-statement
+        concatenation would cost.
+        """
+        body = self.program.body
+        if not body:
+            return EMPTY_TRACE
+        if len(body) == 1:
+            return self.statement_trace(0)
+        env: dict[str, np.ndarray | int] = dict(self.params)
+        counts = [self._count_one(stmt, (), env, None) for stmt in body]
+        total = sum(c[1] + c[2] for c in counts)
+        addrs = np.empty(total, dtype=np.int64)
+        writes = np.empty(total, dtype=np.bool_)
+        pos = 0
+        flops = loads = stores = 0
+        for index in range(len(body)):
+            t = self.statement_trace(index)
+            n = len(t)
+            addrs[pos : pos + n] = t.addresses
+            writes[pos : pos + n] = t.is_write
+            pos += n
+            flops += t.flops
+            loads += t.loads
+            stores += t.stores
+        assert pos == total, f"counting pass sized {total}, emitted {pos}"
+        return Trace(addrs, writes, flops, loads, stores)
+
+    def chunks(self, max_accesses: int = DEFAULT_CHUNK_ACCESSES) -> Iterator[Trace]:
+        """The program trace as a stream of execution-ordered chunks.
+
+        Each top-level loop's iteration grid is sliced along its
+        *outermost* axis so that a chunk holds at most ``max_accesses``
+        generated accesses (a loop whose single outer iteration exceeds
+        the budget yields one outer iteration per chunk — the slicing
+        granularity). The full row matrix of a statement is never built;
+        concatenating the chunks reproduces :meth:`generate` bit for bit,
+        and chunk ``flops``/``loads``/``stores`` sum to the trace totals.
+        """
+        if max_accesses <= 0:
+            raise ValueError("max_accesses must be positive")
+        for stmt in self.program.body:
+            yield from self._statement_chunks(stmt, max_accesses)
 
     def statement_trace(self, index: int) -> Trace:
         """Trace of one top-level statement (used for per-subroutine
@@ -95,6 +153,128 @@ class TraceGenerator:
         env: dict[str, np.ndarray | int] = dict(self.params)
         block = self._build([stmt], (), env, None)
         return self._flatten(block)
+
+    # -- streaming -------------------------------------------------------------
+    def _statement_chunks(self, stmt: Stmt, max_accesses: int) -> Iterator[Trace]:
+        env: dict[str, np.ndarray | int] = dict(self.params)
+        if isinstance(stmt, Loop):
+            trip = self._trip(stmt)
+            if trip == 0:
+                return
+            width = self._body_width(stmt.body)
+            if width:
+                rows = max(1, max_accesses // width)
+                for start in range(0, trip, rows):
+                    stop = min(trip, start + rows)
+                    block = self._build_loop(stmt, (), env, None, step_range=(start, stop))
+                    trace = self._flatten(block)
+                    if len(trace) or trace.flops:
+                        yield trace
+                return
+            # No array accesses anywhere in the body: fall through and emit
+            # the (possibly flops-only) statement whole.
+        block = self._build([stmt], (), env, None)
+        trace = self._flatten(block)
+        if len(trace) or trace.flops:
+            yield trace
+
+    def _trip(self, stmt: Loop) -> int:
+        """Grid-invariant trip count of a loop (the rectangularity check)."""
+        span = stmt.upper - stmt.lower
+        loose = span.symbols - set(self.params)
+        if loose:
+            raise IRError(
+                f"loop {stmt.var}: trip count depends on {sorted(loose)}; only "
+                "grid-invariant trip counts can be traced"
+            )
+        return max(0, span.evaluate(self.params))
+
+    def _body_width(self, stmts: Sequence[Stmt]) -> int:
+        """Generated access columns per iteration of the enclosing loop
+        (guards keep their columns: inactive accesses are masked out at
+        flatten time, but they are generated — and memory is proportional
+        to what is generated, which is what chunking must bound)."""
+        width = 0
+        for s in stmts:
+            if isinstance(s, Assign):
+                width += len(array_refs(s.rhs))
+                width += 1 if isinstance(s.lhs, ArrayRef) else 0
+            elif isinstance(s, ExternalRead):
+                width += 1 if isinstance(s.lhs, ArrayRef) else 0
+            elif isinstance(s, If):
+                width += self._body_width(s.then) + self._body_width(s.orelse)
+            elif isinstance(s, Loop):
+                width += self._trip(s) * self._body_width(s.body)
+            else:
+                raise IRError(f"cannot trace statement {type(s).__name__}")
+        return width
+
+    # -- counting (mirrors _build, without materializing addresses) -----------
+    def _count_one(
+        self,
+        stmt: Stmt,
+        grid_shape: tuple[int, ...],
+        env: dict[str, np.ndarray | int],
+        mask: np.ndarray | None,
+    ) -> tuple[int, int, int]:
+        """Executed (flops, loads, stores) of one statement over a grid.
+
+        Structurally a shadow of :meth:`_build_one` that evaluates guard
+        conditions and loop environments but never an address column, so
+        pre-sizing :meth:`generate`'s output costs O(grid) booleans, not
+        O(grid x width) addresses.
+        """
+        if isinstance(stmt, (Assign, ExternalRead)):
+            if isinstance(stmt, Assign):
+                reads = len(array_refs(stmt.rhs))
+                has_write = isinstance(stmt.lhs, ArrayRef)
+                flops_per_iter = flop_count(stmt.rhs)
+            else:
+                reads = 0
+                has_write = isinstance(stmt.lhs, ArrayRef)
+                flops_per_iter = 0
+            iters = int(np.prod(grid_shape)) if grid_shape else 1
+            active = int(mask.sum()) if mask is not None else iters
+            return (flops_per_iter * active, reads * active, (1 if has_write else 0) * active)
+        if isinstance(stmt, If):
+            cond = np.broadcast_to(
+                np.asarray(stmt.cond.evaluate_vec(env), dtype=np.bool_), grid_shape
+            )
+            then_mask = cond if mask is None else (mask & cond)
+            else_mask = ~cond if mask is None else (mask & ~cond)
+            flops = loads = stores = 0
+            for body, m in ((stmt.then, then_mask), (stmt.orelse, else_mask)):
+                for s in body:
+                    f, ld, st = self._count_one(s, grid_shape, env, m)
+                    flops += f
+                    loads += ld
+                    stores += st
+            return (flops, loads, stores)
+        if isinstance(stmt, Loop):
+            trip = self._trip(stmt)
+            if trip == 0:
+                return (0, 0, 0)
+            child_shape = grid_shape + (trip,)
+            child_env: dict[str, np.ndarray | int] = dict(env)
+            for k, v in env.items():
+                if isinstance(v, np.ndarray):
+                    child_env[k] = v[..., None]
+            steps = np.arange(trip, dtype=np.int64).reshape(
+                (1,) * len(grid_shape) + (trip,)
+            )
+            lower_vec = np.asarray(stmt.lower.evaluate_vec(child_env))
+            child_env[stmt.var] = lower_vec + steps
+            child_mask = None
+            if mask is not None:
+                child_mask = np.broadcast_to(mask[..., None], child_shape)
+            flops = loads = stores = 0
+            for s in stmt.body:
+                f, ld, st = self._count_one(s, child_shape, child_env, child_mask)
+                flops += f
+                loads += ld
+                stores += st
+            return (flops, loads, stores)
+        raise IRError(f"cannot trace statement {type(stmt).__name__}")
 
     # -- block construction ----------------------------------------------------
     def _build(
@@ -248,27 +428,25 @@ class TraceGenerator:
         grid_shape: tuple[int, ...],
         env: dict[str, np.ndarray | int],
         mask: np.ndarray | None,
+        step_range: tuple[int, int] | None = None,
     ) -> _Block:
         # The trip count must be grid-invariant (affine in parameters only);
         # the *lower bound* may depend on enclosing loop variables, which is
         # what tiled loops produce (inner bounds lo + T*tile_var).
-        span = stmt.upper - stmt.lower
-        loose = span.symbols - set(self.params)
-        if loose:
-            raise IRError(
-                f"loop {stmt.var}: trip count depends on {sorted(loose)}; only "
-                "grid-invariant trip counts can be traced"
-            )
-        trip = max(0, span.evaluate(self.params))
-        child_shape = grid_shape + (trip,)
-        if trip == 0:
+        trip = self._trip(stmt)
+        # ``step_range`` restricts the loop to iterations [lo, hi) — how the
+        # streaming path slices a top-level loop's outermost axis.
+        lo, hi = step_range if step_range is not None else (0, trip)
+        count = hi - lo
+        child_shape = grid_shape + (count,)
+        if count <= 0:
             return _empty_block(grid_shape)
         child_env = dict(env)
         # Existing grids gain a trailing axis; the new variable varies on it.
         for k, v in env.items():
             if isinstance(v, np.ndarray):
                 child_env[k] = v[..., None]
-        steps = np.arange(trip, dtype=np.int64).reshape((1,) * len(grid_shape) + (trip,))
+        steps = np.arange(lo, hi, dtype=np.int64).reshape((1,) * len(grid_shape) + (count,))
         lower_vec = np.asarray(stmt.lower.evaluate_vec(child_env))
         child_env[stmt.var] = lower_vec + steps
         child_mask = None
@@ -276,15 +454,15 @@ class TraceGenerator:
             child_mask = np.broadcast_to(mask[..., None], child_shape).copy()
         child = self._build(stmt.body, child_shape, child_env, child_mask)
         # Fold the loop axis into the column axis: per outer iteration the
-        # row is trip * child_width accesses, in execution order.
+        # row is count * child_width accesses, in execution order.
         width = child.width
         addrs = np.broadcast_to(child.addrs, child_shape + (width,)).reshape(
-            grid_shape + (trip * width,)
+            grid_shape + (count * width,)
         )
-        writes = np.tile(child.writes, trip)
+        writes = np.tile(child.writes, count)
         active = None
         if child.active is not None:
-            active = child.active.reshape(grid_shape + (trip * width,))
+            active = child.active.reshape(grid_shape + (count * width,))
         return _Block(addrs, writes, active, child.flops, child.loads, child.stores)
 
     # -- flattening -------------------------------------------------------------

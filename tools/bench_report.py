@@ -1,14 +1,25 @@
 #!/usr/bin/env python
-"""Engine benchmark trajectory: measure and append to ``BENCH_engines.json``.
+"""Benchmark trajectories: ``BENCH_engines.json`` and ``BENCH_streaming.json``.
 
-Runs the reference-vs-setassoc comparison on the Origin2000 main-battery
-workload (the fig1 BLAS-1 traces and the fig3 kernel suite, both levels
-2-way set-associative) and appends one entry — accesses, per-side
-seconds, speedup, per-level engines — to a trajectory file, so the perf
-history of the engine subsystem is visible across PRs::
+Engine mode (default) runs the reference-vs-setassoc comparison on the
+Origin2000 main-battery workload (the fig1 BLAS-1 traces and the fig3
+kernel suite, both levels 2-way set-associative) and appends one entry —
+accesses, per-side seconds, speedup, per-level engines — to a trajectory
+file, so the perf history of the engine subsystem is visible across PRs::
 
     PYTHONPATH=src python tools/bench_report.py            # append entry
     PYTHONPATH=src python tools/bench_report.py --show     # print history
+
+Streaming mode compares the trace pipelines — materialized vs streamed
+(chunked generation fused with simulation) vs streamed+overlap (chunks
+prefetched on a background thread) — on the fig1/fig3 Origin2000
+workload with the mm trace dominating, and appends throughput and peak
+RSS per mode to ``BENCH_streaming.json``.  Each mode runs in its own
+subprocess so ``ru_maxrss`` (a process-lifetime high-water mark) is an
+honest per-mode measurement::
+
+    PYTHONPATH=src python tools/bench_report.py --streaming
+    PYTHONPATH=src python tools/bench_report.py --streaming --show
 
 Timing is best-of-N per side with a warm-up pass, re-attempted over a few
 rounds and keeping the cleanest one (container wall clocks are noisy);
@@ -102,6 +113,143 @@ def measure(scale: int = 128, rounds: int = 3) -> dict:
     }
 
 
+# -- streaming-pipeline benchmark ---------------------------------------------
+
+#: Pipeline label -> ``execute(stream=...)`` argument.
+STREAM_MODES = {
+    "materialized": False,
+    "streamed": "serial",
+    "overlap": "overlap",
+}
+
+
+def _streaming_workload(scale: int):
+    """The fig1/fig3 Origin2000 programs whose traces the pipeline runs:
+    mm (the O(N^3) trace that dominates every battery and the memory
+    story), the BLAS-1 quartet, and the fig3 kernel suite."""
+    from repro.experiments.config import ExperimentConfig
+    from repro.programs import KERNEL_NAMES, blas1, make_kernel, matmul
+
+    cfg = ExperimentConfig(scale=scale)
+    spec = cfg.origin
+    programs = [("mm", matmul(cfg.mm_side()))]
+    for kind in ("copy", "scal", "axpy", "dot"):
+        programs.append((kind, blas1(kind, cfg.stream_elements(spec))))
+    n_kernel = cfg.exemplar_kernel_elements()
+    for name in KERNEL_NAMES:
+        programs.append((name, make_kernel(name, n_kernel)))
+    return spec, programs
+
+
+def streaming_worker(
+    mode: str, scale: int, rounds: int, chunk_accesses: int | None
+) -> dict:
+    """Subprocess body: run the workload under one pipeline, best-of-N,
+    and report seconds + counters digest + this process's peak RSS."""
+    from repro.interp.executor import execute
+    from repro.trace.telemetry import peak_rss_bytes
+
+    spec, programs = _streaming_workload(scale)
+    stream = STREAM_MODES[mode]
+    digests = []
+    times = []
+    accesses = 0
+    for _ in range(max(1, rounds)):
+        start = time.perf_counter()
+        digests = []
+        accesses = 0
+        for _, prog in programs:
+            run = execute(
+                prog,
+                spec,
+                sim_cache=False,
+                stream=stream,
+                chunk_accesses=chunk_accesses if stream else None,
+            )
+            accesses += run.counters.loads + run.counters.stores
+            digests.append(
+                [
+                    run.counters.memory_bytes,
+                    run.counters.graduated_flops,
+                    run.counters.loads,
+                    run.counters.stores,
+                    [st.misses for st in run.counters.level_stats],
+                    [st.writebacks for st in run.counters.level_stats],
+                ]
+            )
+        times.append(time.perf_counter() - start)
+    return {
+        "mode": mode,
+        "seconds": round(min(times), 4),
+        "accesses": accesses,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "digest": digests,
+    }
+
+
+def measure_streaming(
+    scales: list[int], rounds: int = 2, chunk_accesses: int | None = 1 << 20
+) -> dict:
+    """One BENCH_streaming.json entry: every pipeline at every scale, each
+    in a fresh subprocess (peak RSS is a process-lifetime high-water mark,
+    so in-process comparison would credit the streamed modes with the
+    materialized mode's footprint)."""
+    by_scale = []
+    for scale in scales:
+        modes = {}
+        for mode in STREAM_MODES:
+            cmd = [
+                sys.executable,
+                str(Path(__file__).resolve()),
+                "--streaming-worker", mode,
+                "--scale", str(scale),
+                "--rounds", str(rounds),
+            ]
+            if chunk_accesses:
+                cmd += ["--chunk-accesses", str(chunk_accesses)]
+            out = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=3600, check=True
+            )
+            modes[mode] = json.loads(out.stdout)
+        digests = {m: r.pop("digest") for m, r in modes.items()}
+        assert digests["streamed"] == digests["materialized"], (
+            f"scale {scale}: streamed counters diverged from materialized"
+        )
+        assert digests["overlap"] == digests["materialized"], (
+            f"scale {scale}: overlap counters diverged from materialized"
+        )
+        mat = modes["materialized"]
+        by_scale.append(
+            {
+                "scale": scale,
+                "machine": f"origin2000/{scale}",
+                "accesses": mat["accesses"],
+                "modes": modes,
+                "rss_reduction": round(
+                    mat["peak_rss_bytes"]
+                    / max(
+                        modes["streamed"]["peak_rss_bytes"],
+                        modes["overlap"]["peak_rss_bytes"],
+                    ),
+                    2,
+                ),
+                "streamed_slowdown": round(
+                    modes["streamed"]["seconds"] / mat["seconds"], 3
+                ),
+                "overlap_slowdown": round(
+                    modes["overlap"]["seconds"] / mat["seconds"], 3
+                ),
+            }
+        )
+    return {
+        "date": datetime.date.today().isoformat(),
+        "commit": _git_commit(),
+        "rounds": rounds,
+        "chunk_accesses": chunk_accesses,
+        "scales": by_scale,
+    }
+
+
 def _git_commit() -> str | None:
     try:
         out = subprocess.run(
@@ -116,21 +264,81 @@ def _git_commit() -> str | None:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", default=str(_ROOT / "BENCH_engines.json"),
-        help="trajectory file to append to (default: %(default)s)",
+        "--output", default=None,
+        help="trajectory file to append to (default: BENCH_engines.json, or "
+        "BENCH_streaming.json with --streaming)",
     )
     parser.add_argument("--scale", type=int, default=128, help="machine scale")
     parser.add_argument(
-        "--rounds", type=int, default=3,
-        help="measurement rounds; the cleanest is recorded (default: 3)",
+        "--rounds", type=int, default=None,
+        help="measurement rounds; the cleanest is recorded "
+        "(default: 3, or 2 with --streaming)",
     )
     parser.add_argument(
         "--show", action="store_true",
         help="print the existing trajectory and exit without measuring",
     )
+    parser.add_argument(
+        "--streaming", action="store_true",
+        help="benchmark the trace pipelines (materialized vs streamed vs "
+        "streamed+overlap) instead of the engines",
+    )
+    parser.add_argument(
+        "--scales", default="64,16",
+        help="comma-separated machine scales for --streaming; the smallest "
+        "scale is the largest problem (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--chunk-accesses", type=int, default=1 << 20,
+        help="accesses per streamed chunk in --streaming (default: 1Mi)",
+    )
+    parser.add_argument(
+        "--streaming-worker", choices=sorted(STREAM_MODES), default=None,
+        help=argparse.SUPPRESS,  # subprocess entry used by --streaming
+    )
     args = parser.parse_args(argv)
 
-    path = Path(args.output)
+    if args.streaming_worker:
+        result = streaming_worker(
+            args.streaming_worker,
+            args.scale,
+            args.rounds or 2,
+            args.chunk_accesses or None,
+        )
+        print(json.dumps(result))
+        return 0
+
+    if args.streaming:
+        path = Path(args.output or _ROOT / "BENCH_streaming.json")
+        data = {"benchmark": "streaming", "entries": []}
+        if path.exists():
+            data = json.loads(path.read_text())
+        if args.show:
+            for e in data["entries"]:
+                for s in e["scales"]:
+                    print(f"{e['date']} {e.get('commit') or '-':>9} "
+                          f"{s['machine']:>14} {s['accesses']:>11} acc "
+                          f"rss/{s['rss_reduction']:.1f} "
+                          f"stream x{s['streamed_slowdown']:.2f} "
+                          f"overlap x{s['overlap_slowdown']:.2f}")
+            return 0
+        scales = [int(p) for p in args.scales.split(",") if p.strip()]
+        entry = measure_streaming(
+            scales, rounds=args.rounds or 2, chunk_accesses=args.chunk_accesses or None
+        )
+        data["entries"].append(entry)
+        path.write_text(json.dumps(data, indent=2) + "\n")
+        for s in entry["scales"]:
+            mat = s["modes"]["materialized"]
+            print(f"{s['machine']}: {s['accesses']} accesses, "
+                  f"materialized {mat['seconds']}s / "
+                  f"{mat['peak_rss_bytes'] / 2**20:.0f} MB peak; "
+                  f"rss reduction {s['rss_reduction']}x, "
+                  f"streamed x{s['streamed_slowdown']}, "
+                  f"overlap x{s['overlap_slowdown']}")
+        return 0
+
+    path = Path(args.output or _ROOT / "BENCH_engines.json")
     data = {"benchmark": "engines", "entries": []}
     if path.exists():
         data = json.loads(path.read_text())
@@ -141,7 +349,7 @@ def main(argv=None) -> int:
                   f"{e['macc_per_s']:6.1f} Macc/s")
         return 0
 
-    entry = measure(scale=args.scale, rounds=args.rounds)
+    entry = measure(scale=args.scale, rounds=args.rounds or 3)
     data["entries"].append(entry)
     path.write_text(json.dumps(data, indent=2) + "\n")
     print(f"{path}: {entry['speedup']}x over reference "
