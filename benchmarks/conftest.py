@@ -26,3 +26,20 @@ def once(benchmark, fn):
     """Run an experiment exactly once under the benchmark timer (these are
     second-scale simulations; statistical rounds would waste minutes)."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def attempt_rounds(fn, accept, rounds=3):
+    """Guard for wall-clock comparisons: re-measure until ``accept(result)``
+    holds, up to ``rounds`` attempts, returning the last result.
+
+    Container clocks are noisy enough that a single A-vs-B comparison —
+    even one already taking best-of-N per side — occasionally lands past
+    its threshold on scheduler jitter alone.  A genuine regression fails
+    every attempt; noise does not survive three.
+    """
+    result = fn()
+    for _ in range(rounds - 1):
+        if accept(result):
+            break
+        result = fn()
+    return result

@@ -36,7 +36,7 @@ import time
 from pathlib import Path
 
 import pytest
-from conftest import once
+from conftest import attempt_rounds, once
 
 from repro.interp.executor import execute
 from repro.programs import matmul
@@ -80,7 +80,16 @@ def test_bench_streaming_throughput(benchmark, workload):
         ovl_s, ovl = best(_run(spec, prog, "overlap") for _ in range(3))
         return mat_s, mat, ser_s, ser, ovl_s, ovl
 
-    mat_s, mat, ser_s, ser, ovl_s, ovl = once(benchmark, compare)
+    def timing_ok(measured):
+        mat_s, _, ser_s, _, ovl_s, _ = measured
+        return ser_s <= mat_s * 1.25 and ovl_s <= mat_s * 1.25
+
+    # Best-of-3 per side per attempt, plus up to 3 attempts before the
+    # comparison is allowed to fail: a real regression survives all of
+    # them, a scheduler hiccup does not.
+    mat_s, mat, ser_s, ser, ovl_s, ovl = once(
+        benchmark, lambda: attempt_rounds(compare, timing_ok)
+    )
 
     # Exactness first: all three pipelines are the same instrument.
     assert ser.counters == mat.counters

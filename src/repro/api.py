@@ -143,11 +143,14 @@ def simulate(
     engine: str | None = None,
     passes: int = 1,
     warmup_passes: int = 0,
+    shards: int | None = None,
 ) -> SimulationResult:
     """Run ``program`` through the simulated ``machine`` and measure it.
 
     Wraps the trace generator + :meth:`Hierarchy.run_trace` + the timing
-    model (:func:`repro.interp.executor.execute`).
+    model (:func:`repro.interp.executor.execute`).  ``shards`` runs the
+    set-sharded parallel simulation (bit-identical counters; falls back
+    to serial when the hierarchy cannot be partitioned exactly).
     """
     run = execute(
         program,
@@ -156,6 +159,7 @@ def simulate(
         engine=engine,
         passes=passes,
         warmup_passes=warmup_passes,
+        shards=shards,
     )
     return SimulationResult(
         program=run.program,
@@ -183,6 +187,7 @@ def simulate_stream(
     warmup_passes: int = 0,
     chunk_accesses: int | None = None,
     overlap: bool = True,
+    shards: int | None = None,
 ) -> SimulationResult:
     """:func:`simulate` with the streaming trace pipeline: the access
     trace is generated in bounded chunks fused with hierarchy simulation
@@ -200,6 +205,7 @@ def simulate_stream(
         warmup_passes=warmup_passes,
         stream="overlap" if overlap else "serial",
         chunk_accesses=chunk_accesses,
+        shards=shards,
     )
     return SimulationResult(
         program=run.program,

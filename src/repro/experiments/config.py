@@ -38,6 +38,7 @@ class ExperimentConfig:
     sim_cache_dir: str | None = None  # persistent tier directory (None = memory only)
     stream: bool = False  # chunked trace pipeline with producer/consumer overlap
     chunk_accesses: int | None = None  # accesses per streamed chunk (None = default)
+    shards: int = 1  # set-sharded parallel simulation workers (1 = serial)
 
     def apply(self) -> None:
         """Install this config's engine and sim-cache settings as the
@@ -49,10 +50,12 @@ class ExperimentConfig:
         experiments of one serial battery."""
         from ..interp.executor import configure_streaming
         from ..machine.engine import set_default_engine
+        from ..machine.engine.sharded import configure_sharding
         from ..machine.engine.simcache import configure_sim_cache, get_sim_cache
 
         set_default_engine(self.engine)
         configure_streaming(self.stream, self.chunk_accesses)
+        configure_sharding(self.shards)
         current = get_sim_cache()
         matches = (
             current is not None

@@ -23,6 +23,7 @@ import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping, Sequence
 
+from ..machine.engine.sharded import collect_shard_telemetry, summarize_shards
 from ..machine.engine.simcache import get_sim_cache
 from ..machine.engine.telemetry import collect_sim_telemetry, summarize_levels
 from ..phases import collect_phases
@@ -38,8 +39,11 @@ from .report import Table
 #: v2 added ``sim_levels``: per-level engine names and simulated
 #: accesses/second for every experiment.  v3 added ``memory`` (peak RSS
 #: and generated trace bytes) and ``stream`` (producer/consumer overlap
-#: accounting when the chunked trace pipeline ran).
-SCHEMA_VERSION = 3
+#: accounting when the chunked trace pipeline ran).  v4 added ``shards``
+#: (set-sharded simulation telemetry: per-worker accesses and busy
+#: wall-clock, imbalance, serial-fallback reason) and the ``shards``
+#: config knob.
+SCHEMA_VERSION = 4
 
 #: Result statuses the orchestrator can record.
 STATUSES = ("ok", "failed", "timeout")
@@ -72,6 +76,7 @@ class ExperimentResult:
     sim_levels: list[dict[str, Any]] = field(default_factory=list)
     memory: dict[str, int] = field(default_factory=dict)
     stream: dict[str, Any] = field(default_factory=dict)
+    shards: dict[str, Any] = field(default_factory=dict)
     detail: Any = None
 
     # -- rendering -----------------------------------------------------------
@@ -116,6 +121,7 @@ class ExperimentResult:
             "sim_levels": [dict(lv) for lv in self.sim_levels],
             "memory": {k: int(v) for k, v in self.memory.items()},
             "stream": dict(self.stream),
+            "shards": dict(self.shards),
         }
 
     @classmethod
@@ -137,6 +143,7 @@ class ExperimentResult:
             sim_levels=[dict(lv) for lv in data.get("sim_levels", [])],
             memory=dict(data.get("memory", {})),
             stream=dict(data.get("stream", {})),
+            shards=dict(data.get("shards", {})),
         )
 
     def comparable_json(self) -> dict[str, Any]:
@@ -149,6 +156,7 @@ class ExperimentResult:
         data.pop("sim_levels")  # wall-clock rates; sim-cache hits empty it
         data.pop("memory")  # peak RSS varies run to run
         data.pop("stream")  # overlap seconds are wall-clock
+        data.pop("shards")  # worker busy seconds are wall-clock
         data.pop("attempts")
         volatile = {
             i for i, h in enumerate(self.headers) if h in self.volatile_columns
@@ -262,6 +270,7 @@ def experiment(
                 collect_phases() as phases,
                 collect_sim_telemetry() as sim_tel,
                 collect_trace_telemetry() as trace_tel,
+                collect_shard_telemetry() as shard_tel,
             ):
                 detail = fn(*args, **kwargs)
             total = time.perf_counter() - start
@@ -292,6 +301,7 @@ def experiment(
                 sim_levels=summarize_levels(sim_tel),
                 memory=summarize_memory(trace_tel),
                 stream=summarize_stream(trace_tel),
+                shards=summarize_shards(shard_tel),
                 detail=detail,
             )
 

@@ -89,6 +89,21 @@ def _sim_levels_suffix(result: ExperimentResult) -> str:
     return f", {'+'.join(engines)} {accesses / seconds / 1e6:.1f} Macc/s"
 
 
+def _shards_suffix(result: ExperimentResult) -> str:
+    """Shard count, imbalance, or the serial-fallback note, when sharding
+    was requested (sim-cache hits leave this empty, like sim_levels)."""
+    sh = result.shards
+    if not sh:
+        return ""
+    if sh.get("runs"):
+        note = f", {sh.get('effective')} shards x {sh['runs']} sims"
+        imbalance = sh.get("imbalance")
+        if imbalance:
+            note += f" (imbalance {imbalance:.2f})"
+        return note
+    return f", shards {sh.get('requested')} fell back to serial"
+
+
 def _memory_suffix(result: ExperimentResult) -> str:
     """Peak RSS and streaming-overlap accounting, when recorded."""
     parts = []
@@ -123,7 +138,8 @@ def _print_result(result: ExperimentResult, label: str, charts: bool) -> None:
             print(chart(result.detail))
     total = result.timings.get("total", 0.0)
     print(f"[{label}: {total:.1f}s{_sim_counters_suffix(result)}"
-          f"{_sim_levels_suffix(result)}{_memory_suffix(result)}]")
+          f"{_sim_levels_suffix(result)}{_shards_suffix(result)}"
+          f"{_memory_suffix(result)}]")
     print()
 
 
@@ -185,6 +201,16 @@ def main(argv: list[str] | None = None) -> int:
         "unless --stream is given)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="set-sharded parallel simulation workers per experiment "
+        "(default: 1 = serial; composes with --jobs and --stream; falls "
+        "back to serial when the hierarchy's set counts cannot be "
+        "partitioned exactly)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -219,6 +245,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
     if args.chunk_accesses is not None and args.chunk_accesses <= 0:
         parser.error("--chunk-accesses must be positive")
 
@@ -230,6 +258,7 @@ def main(argv: list[str] | None = None) -> int:
         sim_cache_dir=None if args.no_sim_cache else args.sim_cache_dir,
         stream=args.stream,
         chunk_accesses=args.chunk_accesses,
+        shards=args.shards,
     )
     base_cfg.apply()  # in-process runs simulate in this process
 
@@ -244,8 +273,9 @@ def main(argv: list[str] | None = None) -> int:
     cache_desc = "off" if args.no_sim_cache else f"on ({args.sim_cache_dir})"
     mode = "in-process serial" if not options.use_processes else f"{args.jobs} worker(s)"
     pipeline = "streamed" if args.stream else "materialized"
+    sharding = "serial" if args.shards == 1 else f"{args.shards} shard workers"
     print(f"engine: {args.engine}, sim cache: {cache_desc}, "
-          f"trace pipeline: {pipeline}, mode: {mode}\n")
+          f"trace pipeline: {pipeline}, simulation: {sharding}, mode: {mode}\n")
 
     results: list[ExperimentResult] = []
     for task, result in zip(tasks, run_tasks(tasks, options)):

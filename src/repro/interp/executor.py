@@ -21,7 +21,7 @@ from ..machine.engine.simcache import (
     machine_signature,
     simulation_key,
 )
-from ..machine.hierarchy import Hierarchy
+from ..machine.engine.sharded import build_hierarchy
 from ..machine.layout import LayoutPolicy, MemoryLayout, build_layout
 from ..machine.spec import MachineSpec
 from ..machine.timing import (
@@ -124,6 +124,7 @@ def execute(
     sim_cache: SimulationCache | bool | None = None,
     stream: bool | str | None = None,
     chunk_accesses: int | None = None,
+    shards: int | None = None,
 ) -> MachineRun:
     """Run ``program`` on ``machine`` and measure it.
 
@@ -153,6 +154,11 @@ def execute(
         chunk_accesses: accesses per streamed chunk (None = process
             default, falling back to
             :data:`repro.trace.generator.DEFAULT_CHUNK_ACCESSES`).
+        shards: set-sharded parallel simulation across worker processes
+            (see :mod:`repro.machine.engine.sharded`).  ``None`` uses the
+            process default (:func:`configure_sharding`), 1 is serial;
+            an infeasible request falls back to serial with a telemetry
+            flag.  Counters are bit-identical at any shard count.
     """
     if stream is None:
         stream = _stream_default
@@ -162,6 +168,8 @@ def execute(
         )
     if chunk_accesses is None:
         chunk_accesses = _chunk_accesses_default
+    if shards is not None and shards < 1:
+        raise ExecutionError(f"shards must be >= 1, got {shards}")
     bound = program.bind_params(params)
     if layout is None:
         layout = build_layout(program, bound, layout_policy or machine.default_layout)
@@ -206,6 +214,7 @@ def execute(
             flush,
             stream,
             chunk_accesses,
+            shards,
         )
     else:
         with phase(TRACE_GEN):
@@ -216,18 +225,20 @@ def execute(
         trace_telemetry.record_trace_bytes(trace.nbytes)
 
         with phase(SIMULATE):
-            hierarchy = Hierarchy.from_spec(machine, engine)
-            for _ in range(warmup_passes):
-                hierarchy.run_trace(trace.addresses, trace.is_write)
-            if warmup_passes:
-                for cache in hierarchy.caches:
-                    cache.reset_stats()
+            hierarchy = build_hierarchy(machine, engine, shards=shards)
+            try:
+                for _ in range(warmup_passes):
+                    hierarchy.run_trace(trace.addresses, trace.is_write)
+                if warmup_passes:
+                    hierarchy.reset_stats()
 
-            for _ in range(passes):
-                hierarchy.run_trace(trace.addresses, trace.is_write)
-            if flush:
-                hierarchy.flush()
-            result = hierarchy.result()
+                for _ in range(passes):
+                    hierarchy.run_trace(trace.addresses, trace.is_write)
+                if flush:
+                    hierarchy.flush()
+                result = hierarchy.result()
+            finally:
+                hierarchy.close()
         trace_flops, trace_loads, trace_stores = trace.flops, trace.loads, trace.stores
 
     if cached is None and memo is not None and key is not None:
@@ -294,6 +305,7 @@ def _execute_streamed(
     flush: bool,
     stream: bool | str,
     chunk_accesses: int | None,
+    shards: int | None = None,
 ):
     """Chunked-generation pipeline: each pass regenerates the chunk
     stream and fuses it with hierarchy simulation, so peak memory is
@@ -301,7 +313,9 @@ def _execute_streamed(
     for one pass, exactly like the materialized path."""
     with phase(TRACE_GEN):
         gen = TraceGenerator(program, bound, layout, validate=validate)
-    hierarchy = Hierarchy.from_spec(machine, engine)
+    # Built (and, when sharded, forked) before the prefetch thread below
+    # ever starts: forking under a live producer thread is a hazard.
+    hierarchy = build_hierarchy(machine, engine, shards=shards)
 
     def one_pass():
         chunks = _timed_chunks(gen, chunk_accesses)
@@ -312,21 +326,23 @@ def _execute_streamed(
         with phase(SIMULATE):
             return hierarchy.run_stream(chunks)
 
-    totals = None
-    for _ in range(warmup_passes):
-        totals = one_pass()
-    if warmup_passes:
-        for cache in hierarchy.caches:
-            cache.reset_stats()
-    for _ in range(passes):
-        totals = one_pass()
-    if totals is None:  # passes == warmup_passes == 0
-        totals = one_pass()
-        hierarchy.reset()
-    if totals.accesses == 0 and totals.flops == 0:
-        raise ExecutionError(f"program {program.name!r} generates no work")
-    if flush:
-        with phase(SIMULATE):
-            hierarchy.flush()
-    trace_telemetry.record_trace_bytes(totals.accesses * 9)
-    return hierarchy.result(), totals.flops, totals.loads, totals.stores
+    try:
+        totals = None
+        for _ in range(warmup_passes):
+            totals = one_pass()
+        if warmup_passes:
+            hierarchy.reset_stats()
+        for _ in range(passes):
+            totals = one_pass()
+        if totals is None:  # passes == warmup_passes == 0
+            totals = one_pass()
+            hierarchy.reset()
+        if totals.accesses == 0 and totals.flops == 0:
+            raise ExecutionError(f"program {program.name!r} generates no work")
+        if flush:
+            with phase(SIMULATE):
+                hierarchy.flush()
+        trace_telemetry.record_trace_bytes(totals.accesses * 9)
+        return hierarchy.result(), totals.flops, totals.loads, totals.stores
+    finally:
+        hierarchy.close()

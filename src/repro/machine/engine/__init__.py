@@ -90,6 +90,27 @@ def select_engine(
     return Cache
 
 
+#: Names served lazily from :mod:`repro.machine.engine.sharded`.  The
+#: hierarchy module imports this package (for telemetry) and sharded
+#: imports the hierarchy, so an eager import here would be circular.
+_SHARDED_EXPORTS = (
+    "ShardPlan",
+    "ShardedHierarchy",
+    "build_hierarchy",
+    "configure_sharding",
+    "get_default_shards",
+    "plan_shards",
+)
+
+
+def __getattr__(name: str):
+    if name in _SHARDED_EXPORTS:
+        from . import sharded
+
+        return getattr(sharded, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 def make_cache(
     name: str,
     geometry: CacheGeometry,
@@ -113,7 +134,13 @@ __all__ = [
     "ENGINES",
     "MissCurve",
     "SetAssociativeEngine",
+    "ShardPlan",
+    "ShardedHierarchy",
     "StackDistanceEngine",
+    "build_hierarchy",
+    "configure_sharding",
+    "get_default_shards",
+    "plan_shards",
     "count_prior_leq",
     "get_default_engine",
     "make_cache",

@@ -164,3 +164,14 @@ class Hierarchy:
     def reset(self) -> None:
         for c in self.caches:
             c.reset()
+
+    def reset_stats(self) -> None:
+        """Zero every level's counters; contents stay (steady-state
+        measurement after warmup passes)."""
+        for c in self.caches:
+            c.reset_stats()
+
+    def close(self) -> None:
+        """Release engine resources.  The serial hierarchy holds none;
+        the sharded subclass reaps its worker processes here, so callers
+        (the executor) can close unconditionally."""

@@ -170,6 +170,132 @@ class TestNormalizationBugs:
         assert normalize_guard_contexts(p) is p
 
 
+class TestShardMergeBugs:
+    """Mutation tests for the sharded-vs-serial differential oracle.
+
+    The sharded engine's safety rests on the same logic: if a shard
+    merge is wrong, comparing against the serial counters must say so.
+    Each mutation below is a bug a shard-merge implementation could
+    realistically have — dropping a shard, double-counting a counter,
+    violating per-set access order — and each must be *rejected* by the
+    differential comparison, while the correct merge is accepted (so
+    these are genuine discriminations, not trivial failures).
+    """
+
+    SHARDS = 4
+
+    def _spec_and_trace(self):
+        import numpy as np
+
+        from repro.machine.presets import origin2000
+
+        spec = origin2000(32)
+        rng = np.random.default_rng(1234)
+        addrs = (rng.integers(0, 4096, 12_000) * 8).astype(np.int64)
+        writes = rng.random(12_000) < 0.4
+        return spec, addrs, writes
+
+    def _serial_result(self, spec, addrs, writes):
+        from repro.machine.hierarchy import Hierarchy
+
+        h = Hierarchy.from_spec(spec, "auto")
+        h.run_trace(addrs, writes)
+        h.flush()
+        return h.result()
+
+    def _shard_snapshots(self, spec, addrs, writes):
+        from repro.machine.engine.sharded import ShardedHierarchy, build_hierarchy
+
+        h = build_hierarchy(spec, "auto", shards=self.SHARDS)
+        assert isinstance(h, ShardedHierarchy)
+        try:
+            h.run_trace(addrs, writes)
+            h.flush()
+            return h.shard_results()
+        finally:
+            h.close()
+
+    @staticmethod
+    def _merge(results):
+        merged = results[0]
+        for res in results[1:]:
+            merged = merged.merged(res)
+        return merged
+
+    @staticmethod
+    def _same(a, b) -> bool:
+        return a.downstream_bytes == b.downstream_bytes and all(
+            vars(sa) == vars(sb) for sa, sb in zip(a.level_stats, b.level_stats)
+        )
+
+    def test_correct_merge_accepted(self):
+        spec, addrs, writes = self._spec_and_trace()
+        serial = self._serial_result(spec, addrs, writes)
+        shards = self._shard_snapshots(spec, addrs, writes)
+        assert self._same(self._merge([res for _, res, *_ in shards]), serial)
+
+    def test_dropped_shard_rejected(self):
+        spec, addrs, writes = self._spec_and_trace()
+        serial = self._serial_result(spec, addrs, writes)
+        shards = self._shard_snapshots(spec, addrs, writes)
+        results = [res for _, res, *_ in shards]
+        assert results[0].level_stats[0].accesses > 0  # a real shard is lost
+        assert not self._same(self._merge(results[1:]), serial)
+
+    def test_double_counted_writebacks_rejected(self):
+        from dataclasses import replace as dc_replace
+
+        from repro.machine.hierarchy import HierarchyResult
+
+        spec, addrs, writes = self._spec_and_trace()
+        serial = self._serial_result(spec, addrs, writes)
+        shards = self._shard_snapshots(spec, addrs, writes)
+        results = [res for _, res, *_ in shards]
+        first = results[0]
+        assert first.level_stats[0].writebacks > 0  # mutation must bite
+        doubled_l1 = dc_replace(
+            first.level_stats[0],
+            writebacks=2 * first.level_stats[0].writebacks,
+        )
+        results[0] = HierarchyResult(
+            (doubled_l1,) + first.level_stats[1:], first.downstream_bytes
+        )
+        assert not self._same(self._merge(results), serial)
+
+    def test_reordered_per_set_events_rejected(self):
+        """The exactness theorem needs each shard to see its subsequence
+        in serial order.  Replaying the partition by hand accepts; one
+        shard replayed in reverse (same multiset of accesses, wrong
+        within-set order) perturbs LRU state and must be rejected."""
+        import numpy as np
+
+        from repro.machine.engine.sharded import plan_shards
+        from repro.machine.hierarchy import Hierarchy
+
+        spec, addrs, writes = self._spec_and_trace()
+        serial = self._serial_result(spec, addrs, writes)
+        plan = plan_shards(spec.build_caches("auto"), self.SHARDS)
+        assert plan.shards == self.SHARDS
+        key = (addrs >> plan.key_shift) % self.SHARDS
+
+        def replay(order_of_shard0):
+            partial = []
+            for shard in range(self.SHARDS):
+                idx = np.flatnonzero(key == shard)
+                if shard == 0:
+                    idx = idx[order_of_shard0]
+                h = Hierarchy.from_spec(spec, "auto")
+                h.run_trace(addrs[idx], writes[idx])
+                h.flush()
+                partial.append(h.result())
+            return self._merge(partial)
+
+        in_order = replay(slice(None))
+        assert self._same(in_order, serial)  # hand partition is exact
+        reversed_shard0 = replay(slice(None, None, -1))
+        assert not self._same(reversed_shard0, serial)
+
+
 class TestTilingBugs:
     def test_wrong_tile_base_rejected(self):
         from repro.programs import matmul

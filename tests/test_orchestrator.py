@@ -59,11 +59,85 @@ def _flaky_experiment(config):
     return _ok_experiment(config)
 
 
+def _shard_spec():
+    from repro.machine.presets import origin2000
+
+    return origin2000(32)
+
+
+def _shard_trace():
+    import numpy as np
+
+    rng = np.random.default_rng(77)
+    addrs = (rng.integers(0, 2048, 6000) * 8).astype(np.int64)
+    writes = rng.random(6000) < 0.3
+    return addrs, writes
+
+
+def _record_pids(pids):
+    with Path(os.environ["REPRO_TEST_SHARD_PIDS"]).open("a") as fh:
+        fh.writelines(f"{p}\n" for p in pids)
+
+
+def _shard_crash_experiment(config):
+    """First attempt: SIGKILL one shard worker mid-stream (the crash must
+    surface, not hang or corrupt).  Second attempt: clean sharded run."""
+    import signal
+
+    from repro.machine.engine.sharded import ShardedHierarchy, build_hierarchy
+
+    flag = Path(os.environ["REPRO_TEST_SHARD_FLAG"])
+    h = build_hierarchy(_shard_spec(), "auto", shards=2)
+    assert isinstance(h, ShardedHierarchy)
+    _record_pids([w.pid for w in h._workers])
+    addrs, writes = _shard_trace()
+    try:
+        h.run_trace(addrs[:3000], writes[:3000])
+        h.shard_results()  # sync point: both workers alive and caught up
+        if not flag.exists():
+            flag.write_text("killed a shard")
+            os.kill(h._workers[0].pid, signal.SIGKILL)
+            h.run_trace(addrs[3000:], writes[3000:])
+            h.result()  # must raise MachineError at the merge sync
+            raise AssertionError("dead shard worker went unnoticed")
+        h.run_trace(addrs[3000:], writes[3000:])
+        h.flush()
+        res = h.result()
+    finally:
+        h.close()
+    return ExperimentResult(
+        experiment="shard_crash",
+        title="Sharded",
+        headers=("k", "v"),
+        rows=[["memory_bytes", res.memory_bytes]],
+        config=config.to_json(),
+    )
+
+
+def _shard_hang_experiment(config):
+    """Simulate with live shard workers and a fresh disk sim-cache entry,
+    then wedge: the orchestrator's timeout kill must take the whole
+    process tree down and leave no temp files behind."""
+    from repro.machine.engine import simcache
+    from repro.machine.engine.sharded import build_hierarchy
+
+    h = build_hierarchy(_shard_spec(), "auto", shards=2)
+    _record_pids([os.getpid()] + [w.pid for w in h._workers])
+    addrs, writes = _shard_trace()
+    h.run_trace(addrs, writes)
+    res = h.result()  # partial per-shard results exist when the axe falls
+    cache = simcache.get_sim_cache()
+    cache.put("hangkey", simcache.SimulationResult(res, 1, 2, 3))
+    time.sleep(60)
+
+
 REGISTRY = {
     "ok": _ok_experiment,
     "boom": _crash_experiment,
     "hang": _hang_experiment,
     "flaky": _flaky_experiment,
+    "shard_crash": _shard_crash_experiment,
+    "shard_hang": _shard_hang_experiment,
 }
 
 
@@ -129,6 +203,80 @@ class TestGracefulDegradation:
         options = OrchestratorOptions(jobs=3, timeout=5.0, retries=0, registry=REGISTRY)
         results = list(run_tasks(_tasks("ok", "boom", "ok"), options))
         assert [r.status for r in results] == ["ok", "failed", "ok"]
+
+
+class TestShardedFailurePaths:
+    """A sharded simulation dying inside an orchestrator worker: the
+    failure must stay contained (retry -> clean manifest), and neither
+    path may leak shard worker processes or cache temp files."""
+
+    @staticmethod
+    def _assert_all_gone(pid_file: Path, deadline_s: float = 15.0):
+        pids = [int(line) for line in pid_file.read_text().split()]
+        assert pids, "experiment never recorded its worker pids"
+        deadline = time.monotonic() + deadline_s
+        for pid in pids:
+            while True:
+                try:
+                    os.kill(pid, 0)
+                except (ProcessLookupError, PermissionError):
+                    break  # reaped (or reused by another uid): not ours
+                assert time.monotonic() < deadline, f"pid {pid} still alive"
+                time.sleep(0.05)
+        return pids
+
+    def test_crash_mid_shard_retries_to_clean_manifest(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SHARD_FLAG", str(tmp_path / "flag"))
+        monkeypatch.setenv("REPRO_TEST_SHARD_PIDS", str(tmp_path / "pids"))
+        options = OrchestratorOptions(jobs=2, retries=1, registry=REGISTRY)
+        results = list(run_tasks(_tasks("shard_crash"), options))
+        assert results[0].status == "ok"
+        assert results[0].attempts == 2  # first attempt lost a shard worker
+
+        # the retried run's numbers equal an undisturbed serial run
+        from repro.machine.hierarchy import Hierarchy
+
+        serial = Hierarchy.from_spec(_shard_spec(), "auto")
+        addrs, writes = _shard_trace()
+        serial.run_trace(addrs, writes)
+        serial.flush()
+        assert results[0].rows == [["memory_bytes", serial.result().memory_bytes]]
+
+        # 2 shard pids per attempt, all reaped: no zombies, no orphans
+        pids = self._assert_all_gone(tmp_path / "pids")
+        assert len(pids) == 4
+
+        manifest = build_manifest(results, jobs=2, run_id="shardcrash")
+        out = tmp_path / "results"
+        write_manifest(manifest, out)
+        assert json.loads((out / "run-shardcrash.json").read_text())["results"][0][
+            "status"
+        ] == "ok"
+        assert not list(out.glob("*.tmp"))
+
+    def test_timeout_with_partial_shards_reaps_process_tree(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TEST_SHARD_PIDS", str(tmp_path / "pids"))
+        cache_dir = tmp_path / "cache"
+        cfg = ExperimentConfig(sim_cache=True, sim_cache_dir=str(cache_dir))
+        tasks = [ExperimentTask("shard_hang", cfg, "shard_hang")]
+        options = OrchestratorOptions(
+            jobs=2, timeout=2.0, retries=0, registry=REGISTRY
+        )
+        start = time.monotonic()
+        results = list(run_tasks(tasks, options))
+        assert time.monotonic() - start < 30
+        assert results[0].status == "timeout"
+
+        # orchestrator worker + its 2 shard children, all gone
+        pids = self._assert_all_gone(tmp_path / "pids")
+        assert len(pids) == 3
+
+        # the disk put before the hang landed atomically; the kill left
+        # no .repro_cache temp files behind
+        assert any(cache_dir.rglob("*")), "disk sim-cache entry missing"
+        assert not list(cache_dir.rglob("*.tmp"))
 
 
 class TestSerialParallelEquivalence:

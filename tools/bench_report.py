@@ -113,6 +113,80 @@ def measure(scale: int = 128, rounds: int = 3) -> dict:
     }
 
 
+# -- sharded-simulation benchmark ---------------------------------------------
+
+
+def _cpus() -> int:
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover — non-Linux
+        return os.cpu_count() or 1
+
+
+def _simulate_sharded(spec, traces, shards):
+    from repro.machine.engine.sharded import ShardedHierarchy, build_hierarchy
+
+    results = []
+    start = time.perf_counter()
+    for _, addrs, is_write in traces:
+        h = build_hierarchy(spec, "auto", shards=shards)
+        assert isinstance(h, ShardedHierarchy), "workload must be shardable"
+        try:
+            h.run_trace(addrs, is_write)
+            h.flush()
+            results.append(h.result())
+        finally:
+            h.close()
+    return time.perf_counter() - start, results
+
+
+def measure_sharded(scale: int = 8, shards: int = 4, rounds: int = 3) -> dict:
+    """One BENCH_shard.json entry: serial vs set-sharded simulation of the
+    main battery, counters asserted bit-identical before any number is
+    recorded.  ``cpus`` is part of the record: set-sharding buys wall
+    clock only when the shard workers actually get their own cores."""
+    from repro.experiments.config import ExperimentConfig
+
+    cfg = ExperimentConfig(scale=scale)
+    spec, traces = _traces(cfg)
+    _simulate(spec, traces, "auto")  # warm allocator and caches
+    best = lambda runs: min(runs, key=lambda r: r[0])  # noqa: E731
+    attempts = []
+    for _ in range(max(1, rounds)):
+        ser_s, ser_results = best(_simulate(spec, traces, "auto") for _ in range(3))
+        shd_s, shd_results = best(
+            _simulate_sharded(spec, traces, shards) for _ in range(3)
+        )
+        attempts.append((ser_s, ser_results, shd_s, shd_results))
+    ser_s, ser_results, shd_s, shd_results = max(attempts, key=lambda r: r[0] / r[2])
+    for (name, _, _), ser, shd in zip(traces, ser_results, shd_results):
+        assert shd == ser, f"{name}: sharded counters diverged from serial"
+    total = sum(len(addrs) for _, addrs, _ in traces)
+    cpus = _cpus()
+    entry = {
+        "date": datetime.date.today().isoformat(),
+        "commit": _git_commit(),
+        "machine": f"origin2000/{scale}",
+        "shards": shards,
+        "cpus": cpus,
+        "traces": len(traces),
+        "accesses": total,
+        "serial_s": round(ser_s, 4),
+        "sharded_s": round(shd_s, 4),
+        "speedup": round(ser_s / shd_s, 2),
+        "macc_per_s": round(total / shd_s / 1e6, 1),
+    }
+    if cpus < shards:
+        entry["note"] = (
+            f"only {cpus} CPU(s) visible: {shards} shard workers serialize "
+            "on the scheduler, so this speedup is a lower bound, not the "
+            "multi-core figure"
+        )
+    return entry
+
+
 # -- streaming-pipeline benchmark ---------------------------------------------
 
 #: Pipeline label -> ``execute(stream=...)`` argument.
@@ -268,7 +342,10 @@ def main(argv=None) -> int:
         help="trajectory file to append to (default: BENCH_engines.json, or "
         "BENCH_streaming.json with --streaming)",
     )
-    parser.add_argument("--scale", type=int, default=128, help="machine scale")
+    parser.add_argument(
+        "--scale", type=int, default=None,
+        help="machine scale (default: 128, or 8 with --sharded)",
+    )
     parser.add_argument(
         "--rounds", type=int, default=None,
         help="measurement rounds; the cleanest is recorded "
@@ -296,16 +373,48 @@ def main(argv=None) -> int:
         "--streaming-worker", choices=sorted(STREAM_MODES), default=None,
         help=argparse.SUPPRESS,  # subprocess entry used by --streaming
     )
+    parser.add_argument(
+        "--sharded", action="store_true",
+        help="benchmark serial vs set-sharded simulation (BENCH_shard.json)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4,
+        help="shard workers for --sharded (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     if args.streaming_worker:
         result = streaming_worker(
             args.streaming_worker,
-            args.scale,
+            args.scale or 128,
             args.rounds or 2,
             args.chunk_accesses or None,
         )
         print(json.dumps(result))
+        return 0
+
+    if args.sharded:
+        path = Path(args.output or _ROOT / "BENCH_shard.json")
+        data = {"benchmark": "sharded", "entries": []}
+        if path.exists():
+            data = json.loads(path.read_text())
+        if args.show:
+            for e in data["entries"]:
+                print(f"{e['date']} {e.get('commit') or '-':>9} "
+                      f"{e['machine']:>14} {e['shards']} shards / "
+                      f"{e['cpus']} cpus {e['speedup']:6.2f}x "
+                      f"{e['macc_per_s']:6.1f} Macc/s")
+            return 0
+        entry = measure_sharded(
+            scale=args.scale or 8, shards=args.shards, rounds=args.rounds or 3
+        )
+        data["entries"].append(entry)
+        path.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"{path}: {entry['speedup']}x over serial with {entry['shards']} "
+              f"shards on {entry['cpus']} cpu(s) ({entry['macc_per_s']} Macc/s, "
+              f"{entry['accesses']} accesses)")
+        if "note" in entry:
+            print(f"note: {entry['note']}")
         return 0
 
     if args.streaming:
@@ -349,7 +458,7 @@ def main(argv=None) -> int:
                   f"{e['macc_per_s']:6.1f} Macc/s")
         return 0
 
-    entry = measure(scale=args.scale, rounds=args.rounds or 3)
+    entry = measure(scale=args.scale or 128, rounds=args.rounds or 3)
     data["entries"].append(entry)
     path.write_text(json.dumps(data, indent=2) + "\n")
     print(f"{path}: {entry['speedup']}x over reference "
