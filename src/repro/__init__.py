@@ -31,6 +31,7 @@ _API_EXPORTS = (
     "SimulationResult",
     "measure_balance",
     "optimize",
+    "predict",
     "run_experiment",
     "run_experiments",
     "simulate",

@@ -8,6 +8,7 @@ paths::
 
     report = repro.measure_balance(program, machine)   # Figures 1-2
     sim = repro.simulate(program, machine)             # the instrument
+    est = repro.predict(program, machine)              # analytic, no trace
     opt = repro.optimize(program, machine)             # Section 3's strategy
 
 plus :func:`run_experiment` / :func:`run_experiments` for the paper's
@@ -21,9 +22,10 @@ this facade will not.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
+from .balance.analytic import predict_run
 from .balance.model import (
     BalanceRatios,
     ProgramBalance,
@@ -223,6 +225,36 @@ def simulate_stream(
     )
 
 
+def predict(
+    program: Program,
+    machine: MachineSpec,
+    *,
+    params: Mapping[str, int] | None = None,
+    passes: int = 1,
+) -> SimulationResult:
+    """:func:`simulate`'s analytic counterpart: the same summary, derived
+    from the loop IR + cache geometry alone (no trace, O(1) in problem
+    size).  Wraps :func:`repro.balance.analytic.predict_run`; see that
+    module for the model and its documented error bands.  ``run`` is the
+    predicted :class:`MachineRun` under the same timing models.
+    """
+    run = predict_run(program, machine, params=params, passes=passes)
+    return SimulationResult(
+        program=run.program,
+        machine=machine.name,
+        seconds=run.seconds,
+        mflops=run.mflops,
+        flops=run.counters.graduated_flops,
+        loads=run.counters.loads,
+        stores=run.counters.stores,
+        channel_names=machine.level_names,
+        channel_bytes=run.counters.channel_bytes,
+        memory_bytes=run.counters.memory_bytes,
+        effective_bandwidth=run.effective_bandwidth,
+        run=run,
+    )
+
+
 def measure_balance(program: Program, machine: MachineSpec) -> BalanceReport:
     """The paper's part-1 measurement: balance, ratios, utilization bound."""
     run = execute(program, machine)
@@ -282,16 +314,23 @@ def run_experiments(
     timeout: float | None = None,
     retries: int = 1,
     scales: Sequence[int] | None = None,
+    predict: bool = False,
 ) -> list[ExperimentResult]:
     """Run a battery of experiments, optionally across worker processes.
 
     ``names=None`` runs everything.  Results come back in plan order; a
     crashed or timed-out experiment is recorded as failed, never raises.
+    ``predict=True`` turns on the analytic fast path for sweep points
+    (spot-checked against the exact simulator; see
+    :mod:`repro.experiments.predict`), equivalent to setting
+    ``ExperimentConfig.predict``.
     """
     wanted = list(names) if names is not None else list(EXPERIMENTS)
     for name in wanted:
         if name not in EXPERIMENTS:
             raise ReproError(f"unknown experiment {name!r}")
+    if predict:
+        config = replace(config or ExperimentConfig(), predict=True)
     return run_battery(
         wanted, config, jobs=jobs, timeout=timeout, retries=retries, scales=scales
     )
@@ -305,6 +344,7 @@ __all__ = [
     "SimulationResult",
     "measure_balance",
     "optimize",
+    "predict",
     "run_experiment",
     "run_experiments",
     "simulate",

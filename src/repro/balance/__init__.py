@@ -1,5 +1,6 @@
 """The bandwidth-based performance model (paper section 2)."""
 
+from .analytic import AnalyticEstimate, LevelEstimate, analyze, predict_run
 from .cachebench import CacheBenchResult, measure_cachebench
 from .intrinsic import (
     IntrinsicTraffic,
@@ -26,13 +27,16 @@ from .prediction import (
 from .stream import StreamResult, measure_stream
 
 __all__ = [
+    "AnalyticEstimate",
     "BalanceRatios",
     "CacheBenchResult",
+    "LevelEstimate",
     "IntrinsicTraffic",
     "Prediction",
     "ProgramBalance",
     "StreamResult",
     "aggregate_balance",
+    "analyze",
     "bandwidth_headroom",
     "bandwidth_utilization",
     "demand_supply_ratios",
@@ -41,6 +45,7 @@ __all__ = [
     "machine_balance",
     "measure_cachebench",
     "measure_stream",
+    "predict_run",
     "predict_speedup",
     "predict_time",
     "program_balance",

@@ -30,23 +30,73 @@ class Prediction:
     machine: str
     seconds: float
     bound: str
+    projected: bool = False
+    warning: str | None = None
 
 
-def predict_time(balance: ProgramBalance, target: MachineSpec) -> Prediction:
-    """Predict ``balance``'s program on ``target`` from counters alone."""
-    if len(balance.channel_bytes) != target.n_levels:
-        raise ReproError(
-            f"{balance.program}: measured {len(balance.channel_bytes)} channels, "
-            f"target machine {target.name} has {target.n_levels}"
+def _project_channels(
+    channel_bytes: tuple[float, ...], n_levels: int
+) -> tuple[float, ...]:
+    """Resample measured channels onto a target with a different depth.
+
+    The register (first) and memory (last) channels are physical
+    invariants of the program and carry over directly; intermediate
+    cache channels are filled by nearest-index resampling of the
+    measured hierarchy (a machine with *more* levels than measured
+    borrows its deepest measured cache channel for the extra levels).
+    """
+    if n_levels == 1:
+        return (channel_bytes[0],)
+    inner = channel_bytes[1:-1] if len(channel_bytes) > 2 else ()
+    resampled = []
+    for i in range(n_levels - 2):
+        if not inner:
+            # No measured intermediate levels: the closest proxy for a
+            # cache channel we never measured is the memory channel.
+            resampled.append(channel_bytes[-1])
+        else:
+            j = round(i * (len(inner) - 1) / max(1, n_levels - 3))
+            resampled.append(inner[min(j, len(inner) - 1)])
+    return (channel_bytes[0], *resampled, channel_bytes[-1])
+
+
+def predict_time(
+    balance: ProgramBalance, target: MachineSpec, *, project: bool = False
+) -> Prediction:
+    """Predict ``balance``'s program on ``target`` from counters alone.
+
+    When the measured channel count differs from the target's hierarchy
+    depth, a bare :class:`ReproError` is raised unless ``project=True``:
+    projection truncates/extends the measured channels (register and
+    memory preserved, intermediate caches resampled) and flags the
+    result with ``Prediction.projected`` and a human-readable
+    ``warning`` — cross-geometry predictions are approximations, see the
+    module docstring.
+    """
+    channel_bytes = balance.channel_bytes
+    projected = False
+    warning = None
+    if len(channel_bytes) != target.n_levels:
+        if not project:
+            raise ReproError(
+                f"{balance.program}: measured {len(channel_bytes)} channels, "
+                f"target machine {target.name} has {target.n_levels}"
+            )
+        channel_bytes = _project_channels(channel_bytes, target.n_levels)
+        projected = True
+        warning = (
+            f"projected {len(balance.channel_bytes)} measured channels onto "
+            f"{target.n_levels}-level machine {target.name}; intermediate "
+            "cache traffic is resampled, not simulated"
         )
     flop_time = balance.flops / target.peak_flops
-    times = [b / bw for b, bw in zip(balance.channel_bytes, target.bandwidths)]
+    times = [b / bw for b, bw in zip(channel_bytes, target.bandwidths)]
     total = max([flop_time, *times])
     if total == flop_time:
         bound = "cpu"
     else:
         bound = target.level_names[times.index(max(times))]
-    return Prediction(balance.program, target.name, total, bound)
+    return Prediction(balance.program, target.name, total, bound, projected, warning)
 
 
 def predict_speedup(

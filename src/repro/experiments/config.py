@@ -39,6 +39,9 @@ class ExperimentConfig:
     stream: bool = False  # chunked trace pipeline with producer/consumer overlap
     chunk_accesses: int | None = None  # accesses per streamed chunk (None = default)
     shards: int = 1  # set-sharded parallel simulation workers (1 = serial)
+    predict: bool = False  # analytic fast path for sweep points (see predict.py)
+    spot_check: float = 0.05  # fraction of predicted points simulated exactly
+    predict_tolerance: float = 0.10  # max per-channel byte error before fallback
 
     def apply(self) -> None:
         """Install this config's engine and sim-cache settings as the
@@ -52,10 +55,12 @@ class ExperimentConfig:
         from ..machine.engine import set_default_engine
         from ..machine.engine.sharded import configure_sharding
         from ..machine.engine.simcache import configure_sim_cache, get_sim_cache
+        from .predict import configure_predict
 
         set_default_engine(self.engine)
         configure_streaming(self.stream, self.chunk_accesses)
         configure_sharding(self.shards)
+        configure_predict(self.predict, self.spot_check, self.predict_tolerance)
         current = get_sim_cache()
         matches = (
             current is not None

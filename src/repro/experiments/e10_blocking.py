@@ -13,10 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..balance.model import ProgramBalance, program_balance
-from ..interp.executor import MachineRun, execute
+from ..interp.executor import MachineRun
 from ..machine.spec import MachineSpec
 from ..programs.matmul import matmul, matmul_blocked
 from .config import ExperimentConfig
+from .predict import run_or_predict
 from .report import Table
 from .result import delta, experiment
 
@@ -65,15 +66,15 @@ def run_e10(
     machine = config.origin
     variants = []
     base = matmul(n, order="jki")
-    run = execute(base, machine)
+    run = run_or_predict(base, machine)
     variants.append(("jki (-O2)", program_balance(run), run))
     for tile in tiles:
         if n % tile:
             continue
         prog = matmul_blocked(n, tile=tile)
-        run = execute(prog, machine)
+        run = run_or_predict(prog, machine)
         variants.append((f"blocked t={tile}", program_balance(run), run))
     no_sr = matmul_blocked(n, tile=tiles[-1], scalar_replace=False)
-    run = execute(no_sr, machine)
+    run = run_or_predict(no_sr, machine)
     variants.append((f"blocked t={tiles[-1]} no-SR", program_balance(run), run))
     return E10Result(machine, n, tuple(variants))

@@ -18,11 +18,11 @@ from dataclasses import dataclass
 from ..balance.model import program_balance
 from ..balance.prediction import predict_time
 from ..errors import ReproError
-from ..interp.executor import execute
 from ..machine.presets import future_machine
 from ..machine.spec import MachineSpec
 from ..programs import convolution, make_kernel, sweep3d
 from .config import ExperimentConfig
+from .predict import run_or_predict
 from .report import Table
 from .result import experiment
 
@@ -93,26 +93,14 @@ def run_e15(config: ExperimentConfig | None = None) -> E15Result:
     ]
     rows = []
     for program in workloads:
-        measured = execute(program, origin)
+        measured = run_or_predict(program, origin)
         balance = program_balance(measured)
         for target in targets:
-            try:
-                predicted = predict_time(balance, target)
-            except ReproError:
-                # Channel-count mismatch (two-level balance vs one-level
-                # Exemplar): project by dropping the middle channel, the
-                # standard degradation of the method.
-                from ..balance.model import ProgramBalance
-
-                projected = ProgramBalance(
-                    balance.program,
-                    target.level_names,
-                    (balance.bytes_per_flop[0], balance.bytes_per_flop[-1]),
-                    balance.flops,
-                    (balance.channel_bytes[0], balance.channel_bytes[-1]),
-                )
-                predicted = predict_time(projected, target)
-            actual = execute(program, target)
+            # project=True handles the channel-count mismatch (two-level
+            # balance vs one-level Exemplar); Prediction.projected marks
+            # the rows that carry the geometry approximation.
+            predicted = predict_time(balance, target, project=True)
+            actual = run_or_predict(program, target)
             rows.append(
                 PredictionRow(
                     program.name,

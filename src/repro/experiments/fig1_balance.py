@@ -27,11 +27,12 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from ..balance.model import ProgramBalance, machine_balance, program_balance
-from ..interp.executor import MachineRun, execute
+from ..interp.executor import MachineRun
 from ..lang.program import Program
 from ..machine.spec import MachineSpec
 from ..programs import convolution, dmxpy, fft, matmul, matmul_blocked, nas_sp, sweep3d
 from .config import ExperimentConfig
+from .predict import run_or_predict
 from .report import Table
 from .result import delta, experiment
 
@@ -111,8 +112,9 @@ def run_fig1(config: ExperimentConfig | None = None) -> Fig1Result:
     runs: list[MachineRun] = []
     for name, prog in _workloads(config):
         # The config decides the trace pipeline explicitly, so direct
-        # calls behave exactly like orchestrated workers.
-        run = execute(
+        # calls behave exactly like orchestrated workers.  Under
+        # --predict these points run analytically with spot checks.
+        run = run_or_predict(
             prog, machine, stream=config.stream, chunk_accesses=config.chunk_accesses
         )
         balance = program_balance(run)

@@ -21,11 +21,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..interp.executor import MachineRun, execute
+from ..interp.executor import MachineRun
 from ..machine.layout import LayoutPolicy
 from ..machine.spec import MachineSpec
 from ..programs.kernels import KERNEL_NAMES, make_kernel
 from .config import ExperimentConfig
+from .predict import run_or_predict
 from .report import Table
 from .result import delta, experiment
 
@@ -96,7 +97,9 @@ def _run_suite(
     runs: dict[str, MachineRun] = {}
     for name in KERNEL_NAMES:
         prog = make_kernel(name, n)
-        runs[name] = execute(
+        # layout_policy is forwarded on both paths: the padded ablation
+        # must reach the analytic conflict term too.
+        runs[name] = run_or_predict(
             prog,
             machine,
             layout_policy=layout_policy,

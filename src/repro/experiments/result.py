@@ -33,6 +33,7 @@ from ..trace.telemetry import (
     summarize_stream,
 )
 from .config import ExperimentConfig
+from .predict import collect_analytic_telemetry, summarize_analytic
 from .report import Table
 
 #: Manifest / result schema version (docs/result.schema.json tracks it).
@@ -42,8 +43,11 @@ from .report import Table
 #: accounting when the chunked trace pipeline ran).  v4 added ``shards``
 #: (set-sharded simulation telemetry: per-worker accesses and busy
 #: wall-clock, imbalance, serial-fallback reason) and the ``shards``
-#: config knob.
-SCHEMA_VERSION = 4
+#: config knob.  v5 added ``analytic`` (predict-then-verify accounting:
+#: points predicted vs spot-checked, max per-channel byte error, the
+#: over-tolerance outlier list) and the ``predict``/``spot_check``/
+#: ``predict_tolerance`` config knobs.
+SCHEMA_VERSION = 5
 
 #: Result statuses the orchestrator can record.
 STATUSES = ("ok", "failed", "timeout")
@@ -77,6 +81,7 @@ class ExperimentResult:
     memory: dict[str, int] = field(default_factory=dict)
     stream: dict[str, Any] = field(default_factory=dict)
     shards: dict[str, Any] = field(default_factory=dict)
+    analytic: dict[str, Any] = field(default_factory=dict)
     detail: Any = None
 
     # -- rendering -----------------------------------------------------------
@@ -122,6 +127,7 @@ class ExperimentResult:
             "memory": {k: int(v) for k, v in self.memory.items()},
             "stream": dict(self.stream),
             "shards": dict(self.shards),
+            "analytic": dict(self.analytic),
         }
 
     @classmethod
@@ -144,6 +150,7 @@ class ExperimentResult:
             memory=dict(data.get("memory", {})),
             stream=dict(data.get("stream", {})),
             shards=dict(data.get("shards", {})),
+            analytic=dict(data.get("analytic", {})),
         )
 
     def comparable_json(self) -> dict[str, Any]:
@@ -157,6 +164,7 @@ class ExperimentResult:
         data.pop("memory")  # peak RSS varies run to run
         data.pop("stream")  # overlap seconds are wall-clock
         data.pop("shards")  # worker busy seconds are wall-clock
+        data.pop("analytic")  # predicted cells differ from simulated ones
         data.pop("attempts")
         volatile = {
             i for i, h in enumerate(self.headers) if h in self.volatile_columns
@@ -271,6 +279,7 @@ def experiment(
                 collect_sim_telemetry() as sim_tel,
                 collect_trace_telemetry() as trace_tel,
                 collect_shard_telemetry() as shard_tel,
+                collect_analytic_telemetry() as predict_tel,
             ):
                 detail = fn(*args, **kwargs)
             total = time.perf_counter() - start
@@ -302,6 +311,7 @@ def experiment(
                 memory=summarize_memory(trace_tel),
                 stream=summarize_stream(trace_tel),
                 shards=summarize_shards(shard_tel),
+                analytic=summarize_analytic(predict_tel),
                 detail=detail,
             )
 

@@ -104,6 +104,23 @@ def _shards_suffix(result: ExperimentResult) -> str:
     return f", shards {sh.get('requested')} fell back to serial"
 
 
+def _analytic_suffix(result: ExperimentResult) -> str:
+    """Predict-then-verify accounting, when the analytic fast path ran."""
+    an = result.analytic
+    if not an:
+        return ""
+    note = (
+        f", analytic {an.get('predicted', 0)}/{an.get('points', 0)} predicted"
+        f" ({an.get('checked', 0)} checked"
+    )
+    if an.get("checked"):
+        note += f", max err {an.get('max_error', 0.0):.1%}"
+    note += ")"
+    if an.get("fallbacks"):
+        note += f", {an['fallbacks']} fallback(s) to exact"
+    return note
+
+
 def _memory_suffix(result: ExperimentResult) -> str:
     """Peak RSS and streaming-overlap accounting, when recorded."""
     parts = []
@@ -139,7 +156,7 @@ def _print_result(result: ExperimentResult, label: str, charts: bool) -> None:
     total = result.timings.get("total", 0.0)
     print(f"[{label}: {total:.1f}s{_sim_counters_suffix(result)}"
           f"{_sim_levels_suffix(result)}{_shards_suffix(result)}"
-          f"{_memory_suffix(result)}]")
+          f"{_analytic_suffix(result)}{_memory_suffix(result)}]")
     print()
 
 
@@ -211,6 +228,31 @@ def main(argv: list[str] | None = None) -> int:
         "partitioned exactly)",
     )
     parser.add_argument(
+        "--predict",
+        action="store_true",
+        help="analytic fast path: sweep points are predicted from the loop "
+        "IR + cache geometry (no trace), with an exact-simulation spot "
+        "check of a sample and automatic fallback to exact simulation "
+        "when a check exceeds the error tolerance",
+    )
+    parser.add_argument(
+        "--spot-check",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="fraction of predicted points also simulated exactly "
+        "(default: %(default)s; only meaningful with --predict)",
+    )
+    parser.add_argument(
+        "--predict-tolerance",
+        type=float,
+        default=0.10,
+        metavar="ERROR",
+        help="max per-channel relative byte error a spot check may show "
+        "before the experiment falls back to exact simulation "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -249,6 +291,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--shards must be >= 1")
     if args.chunk_accesses is not None and args.chunk_accesses <= 0:
         parser.error("--chunk-accesses must be positive")
+    if not 0.0 < args.spot_check <= 1.0:
+        parser.error("--spot-check must be in (0, 1]")
+    if args.predict_tolerance < 0.0:
+        parser.error("--predict-tolerance must be >= 0")
 
     wanted = list(_EXPERIMENTS) if "all" in args.experiments else args.experiments
     scales = args.scale
@@ -259,6 +305,9 @@ def main(argv: list[str] | None = None) -> int:
         stream=args.stream,
         chunk_accesses=args.chunk_accesses,
         shards=args.shards,
+        predict=args.predict,
+        spot_check=args.spot_check,
+        predict_tolerance=args.predict_tolerance,
     )
     base_cfg.apply()  # in-process runs simulate in this process
 
@@ -274,8 +323,15 @@ def main(argv: list[str] | None = None) -> int:
     mode = "in-process serial" if not options.use_processes else f"{args.jobs} worker(s)"
     pipeline = "streamed" if args.stream else "materialized"
     sharding = "serial" if args.shards == 1 else f"{args.shards} shard workers"
+    predicting = (
+        f"analytic ({args.spot_check:.0%} spot check, "
+        f"tol {args.predict_tolerance:.0%})"
+        if args.predict
+        else "exact"
+    )
     print(f"engine: {args.engine}, sim cache: {cache_desc}, "
-          f"trace pipeline: {pipeline}, simulation: {sharding}, mode: {mode}\n")
+          f"trace pipeline: {pipeline}, simulation: {sharding}, "
+          f"sweep points: {predicting}, mode: {mode}\n")
 
     results: list[ExperimentResult] = []
     for task, result in zip(tasks, run_tasks(tasks, options)):

@@ -2,10 +2,21 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.lang import ProgramBuilder  # noqa: F401
 from repro.machine import CacheGeometry, CacheLevelSpec, LayoutPolicy, MachineSpec
+
+# Shared hypothesis profiles: property tests reference one of these
+# instead of scattering ad-hoc @settings literals, and CI can dial the
+# effort for the whole suite via HYPOTHESIS_PROFILE.
+settings.register_profile("repro-fast", max_examples=15, deadline=None)
+settings.register_profile("repro-default", max_examples=25, deadline=None)
+settings.register_profile("repro-thorough", max_examples=40, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro-default"))
 
 
 @pytest.fixture

@@ -173,6 +173,26 @@ class TestPrediction:
         with pytest.raises(ReproError):
             predict_time(program_balance(run), exemplar(scale=256))
 
+    def test_channel_mismatch_projected(self):
+        from repro.machine import exemplar
+
+        machine = origin2000(scale=256)
+        target = exemplar(scale=256)
+        run = execute(simple_stream_program(n=4096), machine)
+        balance = program_balance(run)
+        pred = predict_time(balance, target, project=True)
+        assert pred.projected
+        assert pred.warning is not None and "resampled" in pred.warning
+        # Register and memory channels are physical invariants of the
+        # program, so the projected prediction must equal one computed
+        # from them directly on the target's bandwidths.
+        times = [
+            balance.flops / target.peak_flops,
+            balance.channel_bytes[0] / target.bandwidths[0],
+            balance.channel_bytes[-1] / target.bandwidths[-1],
+        ]
+        assert pred.seconds == pytest.approx(max(times))
+
     def test_predict_speedup(self):
         machine = origin2000(scale=256)
         from repro.programs import fig7_original, fig7_store_eliminated

@@ -189,7 +189,7 @@ def shard_cases(draw):
 
 class TestDifferential:
     @given(case=shard_cases())
-    @settings(max_examples=25, deadline=None)
+    @settings(settings.get_profile("repro-default"))
     def test_sharded_matches_serial_bit_identically(self, case):
         geoms, shards, engine, chunk_size, mid_flush, seed, n, footprint = case
         spec = machine_of(*geoms)

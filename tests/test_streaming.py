@@ -135,7 +135,7 @@ class TestChunkedGeneration:
         n=st.integers(min_value=1, max_value=30),
         cap=st.integers(min_value=1, max_value=5000),
     )
-    @settings(max_examples=40, deadline=None)
+    @settings(settings.get_profile("repro-thorough"))
     def test_random_caps_random_sizes(self, n, cap):
         gen = generator_for(two_loop_chain(n=n))
         assert_traces_equal(concat_traces(list(gen.chunks(cap))), gen.generate())
@@ -245,7 +245,7 @@ def _geometry_for(name: str, rng: np.random.Generator) -> CacheGeometry:
 class TestRunStreamEquivalence:
     @pytest.mark.parametrize("engine", sorted(ENGINE_CLASSES))
     @given(seed=st.integers(min_value=0, max_value=10_000))
-    @settings(max_examples=15, deadline=None)
+    @settings(settings.get_profile("repro-fast"))
     def test_bit_identical_to_run_trace(self, engine, seed):
         """run_stream over random chunk boundaries == run_trace, for every
         engine, including flush — the core streamed-simulation contract."""
