@@ -28,6 +28,7 @@ _API_EXPORTS = (
     "ExperimentConfig",
     "ExperimentResult",
     "OptimizationReport",
+    "SimRequest",
     "SimulationResult",
     "measure_balance",
     "optimize",
@@ -35,6 +36,7 @@ _API_EXPORTS = (
     "run_experiment",
     "run_experiments",
     "simulate",
+    "simulate_batch",
     "simulate_stream",
 )
 

@@ -36,6 +36,7 @@ from .balance.model import (
 )
 from .experiments.config import ExperimentConfig
 from .experiments.orchestrator import run_battery
+from .experiments.plan import SimRequest, run_batch
 from .experiments.registry import EXPERIMENTS
 from .experiments.result import ExperimentResult
 from .errors import ReproError
@@ -225,6 +226,54 @@ def simulate_stream(
     )
 
 
+def _summarize(run: MachineRun, machine: MachineSpec) -> SimulationResult:
+    return SimulationResult(
+        program=run.program,
+        machine=machine.name,
+        seconds=run.seconds,
+        mflops=run.mflops,
+        flops=run.counters.graduated_flops,
+        loads=run.counters.loads,
+        stores=run.counters.stores,
+        channel_names=machine.level_names,
+        channel_bytes=run.counters.channel_bytes,
+        memory_bytes=run.counters.memory_bytes,
+        effective_bandwidth=run.effective_bandwidth,
+        run=run,
+    )
+
+
+def simulate_batch(
+    requests: Sequence[SimRequest],
+    *,
+    plan: bool = True,
+    engine: str | None = None,
+    stream: str | bool | None = None,
+    chunk_accesses: int | None = None,
+    shards: int | None = None,
+) -> list[SimulationResult]:
+    """Run a batch of sweep points through the sweep query planner.
+
+    Each :class:`~repro.experiments.plan.SimRequest` names one
+    (program, machine) point; the planner groups points that share a
+    trace identity and answers each group from shared work — one trace
+    generation per distinct trace, one stack-distance profile per
+    fully-associative capacity ladder, shared cache-level prefixes
+    simulated once.  Results are bit-identical to calling
+    :func:`simulate` per point and come back in request order.
+    ``plan=False`` degrades to exactly that pointwise loop.
+    """
+    runs = run_batch(
+        list(requests),
+        plan=plan,
+        engine=engine,
+        stream=stream,
+        chunk_accesses=chunk_accesses,
+        shards=shards,
+    )
+    return [_summarize(run, req.machine) for run, req in zip(runs, requests)]
+
+
 def predict(
     program: Program,
     machine: MachineSpec,
@@ -341,6 +390,7 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "OptimizationReport",
+    "SimRequest",
     "SimulationResult",
     "measure_balance",
     "optimize",
@@ -348,5 +398,6 @@ __all__ = [
     "run_experiment",
     "run_experiments",
     "simulate",
+    "simulate_batch",
     "simulate_stream",
 ]

@@ -18,6 +18,8 @@ from .fig4_fusion import run_fig4
 from .fig5_mincut import random_hypergraph, run_fig5
 from .fig6_storage import run_fig6
 from .fig8_store_elim import PAPER_SECONDS, build_stages, run_fig8
+from .ladder_capacity import run_ladder
+from .plan import SimRequest, configure_plan, execute_plan, run_batch
 from .orchestrator import (
     ExperimentTask,
     OrchestratorOptions,
@@ -47,10 +49,14 @@ __all__ = [
     "PAPER_MACHINE_BALANCE",
     "PAPER_RATIOS",
     "PAPER_SECONDS",
+    "SimRequest",
     "Table",
     "build_stages",
+    "configure_plan",
+    "execute_plan",
     "fmt",
     "random_hypergraph",
+    "run_batch",
     "run_e10",
     "run_e13",
     "run_e14",
@@ -68,4 +74,5 @@ __all__ = [
     "run_fig5",
     "run_fig6",
     "run_fig8",
+    "run_ladder",
 ]

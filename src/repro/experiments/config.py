@@ -42,6 +42,7 @@ class ExperimentConfig:
     predict: bool = False  # analytic fast path for sweep points (see predict.py)
     spot_check: float = 0.05  # fraction of predicted points simulated exactly
     predict_tolerance: float = 0.10  # max per-channel byte error before fallback
+    plan: bool = False  # sweep query planner for batched points (see plan.py)
 
     def apply(self) -> None:
         """Install this config's engine and sim-cache settings as the
@@ -55,12 +56,14 @@ class ExperimentConfig:
         from ..machine.engine import set_default_engine
         from ..machine.engine.sharded import configure_sharding
         from ..machine.engine.simcache import configure_sim_cache, get_sim_cache
+        from .plan import configure_plan
         from .predict import configure_predict
 
         set_default_engine(self.engine)
         configure_streaming(self.stream, self.chunk_accesses)
         configure_sharding(self.shards)
         configure_predict(self.predict, self.spot_check, self.predict_tolerance)
+        configure_plan(self.plan)
         current = get_sim_cache()
         matches = (
             current is not None

@@ -27,7 +27,7 @@ import json
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
@@ -54,6 +54,14 @@ class ExperimentTask:
 
     def display(self) -> str:
         return self.label or self.name
+
+
+@dataclass
+class RunStats:
+    """Scheduler-level accounting of one battery (surfaced in the
+    manifest, next to ``jobs``)."""
+
+    dedup_hits: int = 0  # tasks answered by an identical in-flight task
 
 
 @dataclass(frozen=True)
@@ -138,22 +146,39 @@ class _Running:
     conn: Any
     deadline: float | None
     payload: tuple | None = None
+    # Plan indices of identical tasks that joined this in-flight run
+    # instead of spawning their own worker (scheduler-level dedup).
+    followers: list[tuple[int, ExperimentTask]] = field(default_factory=list)
 
 
 # -- parent side ---------------------------------------------------------------
 
 
+def _task_key(task: ExperimentTask) -> tuple[str, ExperimentConfig]:
+    """Identity under which two scheduled tasks must produce identical
+    results: same registry entry, same (frozen, hashable) config.  The
+    label is display-only and deliberately excluded."""
+    return (task.name, task.config)
+
+
 def run_tasks(
     tasks: Sequence[ExperimentTask],
     options: OrchestratorOptions | None = None,
+    stats: RunStats | None = None,
 ) -> Iterator[ExperimentResult]:
     """Execute ``tasks``, yielding results **in plan order** as soon as each
-    is ready (parallel completions out of order are buffered)."""
+    is ready (parallel completions out of order are buffered).
+
+    Duplicate tasks — same experiment, same config — are answered by one
+    execution: inline runs memoize completed results, pool runs attach
+    the duplicate to the identical in-flight worker.  ``stats`` (when
+    given) counts those dedup hits for the manifest.
+    """
     options = options or OrchestratorOptions()
     if not options.use_processes:
-        yield from _run_inline(tasks, options)
+        yield from _run_inline(tasks, options, stats)
     else:
-        yield from _run_pool(tasks, options)
+        yield from _run_pool(tasks, options, stats)
 
 
 def _attempt_inline(
@@ -173,14 +198,28 @@ def _attempt_inline(
 
 
 def _run_inline(
-    tasks: Sequence[ExperimentTask], options: OrchestratorOptions
+    tasks: Sequence[ExperimentTask],
+    options: OrchestratorOptions,
+    stats: RunStats | None = None,
 ) -> Iterator[ExperimentResult]:
+    memo: dict[tuple[str, ExperimentConfig], ExperimentResult] = {}
     for task in tasks:
-        yield _attempt_inline(task, options)
+        key = _task_key(task)
+        if key in memo:
+            if stats is not None:
+                stats.dedup_hits += 1
+            yield memo[key]
+            continue
+        result = _attempt_inline(task, options)
+        if result.ok:
+            memo[key] = result
+        yield result
 
 
 def _run_pool(
-    tasks: Sequence[ExperimentTask], options: OrchestratorOptions
+    tasks: Sequence[ExperimentTask],
+    options: OrchestratorOptions,
+    stats: RunStats | None = None,
 ) -> Iterator[ExperimentResult]:
     ctx = _mp_context()
     pending: list[tuple[int, ExperimentTask, int]] = [
@@ -213,6 +252,9 @@ def _run_pool(
     def retry_or_fail(slot: _Running, status: str, error: str) -> None:
         if slot.attempt < max_attempts:
             pending.append((slot.index, slot.task, slot.attempt + 1))
+            # Followers go back to the queue as first attempts; they will
+            # re-attach when the retried leader spawns (or lead themselves).
+            pending.extend((i, t, 1) for i, t in slot.followers)
         else:
             finish(
                 slot,
@@ -224,11 +266,30 @@ def _run_pool(
                     attempts=slot.attempt,
                 ),
             )
+            for fidx, ftask in slot.followers:
+                done[fidx] = failed_result(
+                    ftask.name,
+                    ftask.config,
+                    error,
+                    status=status,
+                    attempts=slot.attempt,
+                )
 
     try:
         while pending or running:
             while pending and len(running) < max(1, options.jobs):
                 index, task, attempt = pending.pop()
+                leader = next(
+                    (s for s in running if _task_key(s.task) == _task_key(task)),
+                    None,
+                )
+                if leader is not None:
+                    # An identical task is already in flight: ride along
+                    # instead of burning a worker on the same simulation.
+                    leader.followers.append((index, task))
+                    if stats is not None:
+                        stats.dedup_hits += 1
+                    continue
                 spawn(index, task, attempt)
 
             time.sleep(_POLL_INTERVAL)
@@ -249,6 +310,11 @@ def _run_pool(
                     if kind == "ok":
                         result = ExperimentResult.from_json(body)
                         finish(slot, replace(result, attempts=slot.attempt))
+                        for fidx, _ftask in slot.followers:
+                            done[fidx] = replace(
+                                ExperimentResult.from_json(body),
+                                attempts=slot.attempt,
+                            )
                     else:
                         retry_or_fail(slot, "failed", str(body))
                 elif not slot.process.is_alive():
@@ -294,6 +360,7 @@ def build_manifest(
     run_id: str | None = None,
     jobs: int = 1,
     command: Sequence[str] | None = None,
+    dedup_hits: int = 0,
 ) -> dict[str, Any]:
     return {
         "schema_version": SCHEMA_VERSION,
@@ -301,6 +368,7 @@ def build_manifest(
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "jobs": jobs,
         "command": list(command) if command is not None else None,
+        "dedup_hits": dedup_hits,
         "results": [r.to_json() for r in results],
     }
 
@@ -379,6 +447,7 @@ __all__ = [
     "DEFAULT_RESULTS_DIR",
     "ExperimentTask",
     "OrchestratorOptions",
+    "RunStats",
     "build_manifest",
     "build_plan",
     "comparable_manifest",

@@ -26,6 +26,7 @@ from .fig4_fusion import run_fig4
 from .fig5_mincut import run_fig5
 from .fig6_storage import run_fig6
 from .fig8_store_elim import run_fig8
+from .ladder_capacity import run_ladder
 
 EXPERIMENTS: Dict[str, Callable] = {
     "fig1": run_fig1,
@@ -45,4 +46,5 @@ EXPERIMENTS: Dict[str, Callable] = {
     "e16": run_e16,
     "e17": run_e17,
     "e18": run_e18,
+    "ladder": run_ladder,
 }

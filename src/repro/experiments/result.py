@@ -33,6 +33,7 @@ from ..trace.telemetry import (
     summarize_stream,
 )
 from .config import ExperimentConfig
+from .plan import collect_plan_telemetry, summarize_plan
 from .predict import collect_analytic_telemetry, summarize_analytic
 from .report import Table
 
@@ -46,8 +47,11 @@ from .report import Table
 #: config knob.  v5 added ``analytic`` (predict-then-verify accounting:
 #: points predicted vs spot-checked, max per-channel byte error, the
 #: over-tolerance outlier list) and the ``predict``/``spot_check``/
-#: ``predict_tolerance`` config knobs.
-SCHEMA_VERSION = 5
+#: ``predict_tolerance`` config knobs.  v6 added ``plan`` (sweep-planner
+#: accounting: request groups, points answered per collapse rule,
+#: accesses simulated vs requested, per-point fallback reasons), the
+#: ``plan`` config knob, and the manifest-level ``dedup_hits`` counter.
+SCHEMA_VERSION = 6
 
 #: Result statuses the orchestrator can record.
 STATUSES = ("ok", "failed", "timeout")
@@ -82,6 +86,7 @@ class ExperimentResult:
     stream: dict[str, Any] = field(default_factory=dict)
     shards: dict[str, Any] = field(default_factory=dict)
     analytic: dict[str, Any] = field(default_factory=dict)
+    plan: dict[str, Any] = field(default_factory=dict)
     detail: Any = None
 
     # -- rendering -----------------------------------------------------------
@@ -128,6 +133,7 @@ class ExperimentResult:
             "stream": dict(self.stream),
             "shards": dict(self.shards),
             "analytic": dict(self.analytic),
+            "plan": dict(self.plan),
         }
 
     @classmethod
@@ -151,6 +157,7 @@ class ExperimentResult:
             stream=dict(data.get("stream", {})),
             shards=dict(data.get("shards", {})),
             analytic=dict(data.get("analytic", {})),
+            plan=dict(data.get("plan", {})),
         )
 
     def comparable_json(self) -> dict[str, Any]:
@@ -165,6 +172,7 @@ class ExperimentResult:
         data.pop("stream")  # overlap seconds are wall-clock
         data.pop("shards")  # worker busy seconds are wall-clock
         data.pop("analytic")  # predicted cells differ from simulated ones
+        data.pop("plan")  # planned and pointwise runs must compare equal
         data.pop("attempts")
         volatile = {
             i for i, h in enumerate(self.headers) if h in self.volatile_columns
@@ -280,6 +288,7 @@ def experiment(
                 collect_trace_telemetry() as trace_tel,
                 collect_shard_telemetry() as shard_tel,
                 collect_analytic_telemetry() as predict_tel,
+                collect_plan_telemetry() as plan_tel,
             ):
                 detail = fn(*args, **kwargs)
             total = time.perf_counter() - start
@@ -312,6 +321,7 @@ def experiment(
                 stream=summarize_stream(trace_tel),
                 shards=summarize_shards(shard_tel),
                 analytic=summarize_analytic(predict_tel),
+                plan=summarize_plan(plan_tel),
                 detail=detail,
             )
 

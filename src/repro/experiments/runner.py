@@ -27,6 +27,7 @@ from .config import ExperimentConfig
 from .orchestrator import (
     DEFAULT_RESULTS_DIR,
     OrchestratorOptions,
+    RunStats,
     build_manifest,
     build_plan,
     run_tasks,
@@ -121,6 +122,24 @@ def _analytic_suffix(result: ExperimentResult) -> str:
     return note
 
 
+def _plan_suffix(result: ExperimentResult) -> str:
+    """Planner accounting, when the sweep query planner ran."""
+    pl = result.plan
+    if not pl:
+        return ""
+    rules = pl.get("by_rule", {})
+    shared = ", ".join(
+        f"{rules[r]} {r}" for r in ("cache", "capacity", "prefix", "trace", "fallback")
+        if rules.get(r)
+    )
+    note = f", plan {pl.get('points', 0)} pts/{pl.get('groups', 0)} groups ({shared})"
+    requested = pl.get("accesses_requested", 0)
+    simulated = pl.get("accesses_simulated", 0)
+    if requested and simulated:
+        note += f", {requested / simulated:.1f}x fewer accesses"
+    return note
+
+
 def _memory_suffix(result: ExperimentResult) -> str:
     """Peak RSS and streaming-overlap accounting, when recorded."""
     parts = []
@@ -156,7 +175,8 @@ def _print_result(result: ExperimentResult, label: str, charts: bool) -> None:
     total = result.timings.get("total", 0.0)
     print(f"[{label}: {total:.1f}s{_sim_counters_suffix(result)}"
           f"{_sim_levels_suffix(result)}{_shards_suffix(result)}"
-          f"{_analytic_suffix(result)}{_memory_suffix(result)}]")
+          f"{_analytic_suffix(result)}{_plan_suffix(result)}"
+          f"{_memory_suffix(result)}]")
     print()
 
 
@@ -253,6 +273,16 @@ def main(argv: list[str] | None = None) -> int:
         "(default: %(default)s)",
     )
     parser.add_argument(
+        "--plan",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="sweep query planner: batch an experiment's simulation "
+        "requests and share work across points (one trace per distinct "
+        "trace identity, one stack-distance profile per capacity ladder, "
+        "shared-prefix levels simulated once); answers are bit-identical "
+        "to pointwise runs, with per-point fallback otherwise",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -308,6 +338,7 @@ def main(argv: list[str] | None = None) -> int:
         predict=args.predict,
         spot_check=args.spot_check,
         predict_tolerance=args.predict_tolerance,
+        plan=args.plan,
     )
     base_cfg.apply()  # in-process runs simulate in this process
 
@@ -329,21 +360,29 @@ def main(argv: list[str] | None = None) -> int:
         if args.predict
         else "exact"
     )
+    planning = "planned (shared-work batches)" if args.plan else "pointwise"
     print(f"engine: {args.engine}, sim cache: {cache_desc}, "
           f"trace pipeline: {pipeline}, simulation: {sharding}, "
-          f"sweep points: {predicting}, mode: {mode}\n")
+          f"sweep points: {predicting}, batches: {planning}, mode: {mode}\n")
 
+    stats = RunStats()
     results: list[ExperimentResult] = []
-    for task, result in zip(tasks, run_tasks(tasks, options)):
+    for task, result in zip(tasks, run_tasks(tasks, options, stats)):
         results.append(result)
         _print_result(result, task.display(), args.charts)
 
     if len(results) > 1:
         print(summary_table(results).render())
+        if stats.dedup_hits:
+            print(f"(scheduler dedup: {stats.dedup_hits} duplicate task(s) "
+                  "answered by one execution)")
         print()
     if not args.no_manifest:
         manifest = build_manifest(
-            results, jobs=args.jobs, command=list(argv) if argv is not None else sys.argv[1:]
+            results,
+            jobs=args.jobs,
+            command=list(argv) if argv is not None else sys.argv[1:],
+            dedup_hits=stats.dedup_hits,
         )
         path = write_manifest(manifest, args.results_dir)
         print(f"manifest: {path}")

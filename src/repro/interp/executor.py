@@ -249,6 +249,34 @@ def execute(
             SimulationResult(result, trace_flops, trace_loads, trace_stores),
         )
 
+    return assemble_run(
+        program.name,
+        machine,
+        bound,
+        result,
+        trace_flops,
+        trace_loads,
+        trace_stores,
+        passes,
+    )
+
+
+def assemble_run(
+    program_name: str,
+    machine: MachineSpec,
+    bound: Mapping[str, int],
+    result,
+    trace_flops: int,
+    trace_loads: int,
+    trace_stores: int,
+    passes: int,
+) -> MachineRun:
+    """Turn raw simulation counters into a :class:`MachineRun`.
+
+    Shared by :func:`execute` and the sweep planner
+    (:mod:`repro.experiments.plan`) so a planned point and a pointwise
+    run go through byte-identical timing-model arithmetic.
+    """
     flops = trace_flops * passes
     loads = trace_loads * passes
     stores = trace_stores * passes
@@ -269,7 +297,7 @@ def execute(
         machine, flops, counters.register_bytes, result.downstream_bytes, misses, 4
     )
     return MachineRun(
-        program=program.name,
+        program=program_name,
         machine=machine,
         params=dict(bound),
         counters=counters,

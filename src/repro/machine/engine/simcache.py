@@ -17,6 +17,11 @@ processes — a second ``runner fig1`` performs zero simulation work.
 Entries are deep-copied on both put and get because ``CacheStats`` is
 mutable.  Any change to simulation semantics must bump
 :data:`FORMAT_VERSION` to invalidate stale entries.
+
+The disk tier is size-capped (``REPRO_CACHE_MAX_BYTES``, default 2 GB):
+after every :data:`_EVICT_EVERY` disk puts the least-recently-used
+entries (by mtime, refreshed on disk hits) are unlinked until the tier
+fits.  ``tools/cache_stats.py`` reports occupancy and age.
 """
 
 from __future__ import annotations
@@ -38,6 +43,25 @@ FORMAT_VERSION = 1
 
 #: Default on-disk location (relative to the working directory).
 DEFAULT_DIR = ".repro_cache"
+
+#: Default size cap of the on-disk tier; override with the
+#: ``REPRO_CACHE_MAX_BYTES`` environment variable (0 = unlimited).
+DEFAULT_MAX_BYTES = 2 << 30  # 2 GB
+
+#: Disk puts between eviction sweeps (a sweep stats every entry, so it
+#: is throttled rather than run per put).
+_EVICT_EVERY = 64
+
+
+def cache_max_bytes() -> int:
+    """The configured on-disk cap in bytes (0 = unlimited)."""
+    raw = os.environ.get("REPRO_CACHE_MAX_BYTES")
+    if raw is None:
+        return DEFAULT_MAX_BYTES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_MAX_BYTES
 
 
 @dataclass(frozen=True)
@@ -124,9 +148,12 @@ class CacheCounters:
     misses: int = 0
     puts: int = 0
     disk_hits: int = 0
+    evictions: int = 0  # disk entries removed by the size cap
 
     def snapshot(self) -> "CacheCounters":
-        return CacheCounters(self.hits, self.misses, self.puts, self.disk_hits)
+        return CacheCounters(
+            self.hits, self.misses, self.puts, self.disk_hits, self.evictions
+        )
 
     def since(self, before: "CacheCounters") -> "CacheCounters":
         return CacheCounters(
@@ -134,6 +161,7 @@ class CacheCounters:
             self.misses - before.misses,
             self.puts - before.puts,
             self.disk_hits - before.disk_hits,
+            self.evictions - before.evictions,
         )
 
     def __str__(self) -> str:
@@ -146,11 +174,19 @@ class CacheCounters:
 class SimulationCache:
     """In-memory memo with an optional persistent on-disk tier."""
 
-    def __init__(self, directory: str | os.PathLike | None = None):
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        max_bytes: int | None = None,
+    ):
         self._memory: dict[str, SimulationResult] = {}
         self.directory = Path(directory) if directory is not None else None
+        #: On-disk size cap in bytes; 0 disables eviction.  ``None``
+        #: resolves from ``REPRO_CACHE_MAX_BYTES`` (default 2 GB).
+        self.max_bytes = cache_max_bytes() if max_bytes is None else max(0, max_bytes)
         self.counters = CacheCounters()
         self._tmp_serial = itertools.count()
+        self._puts_since_evict = 0
 
     def _path(self, key: str) -> Path:
         assert self.directory is not None
@@ -166,6 +202,12 @@ class SimulationCache:
                     entry = SimulationResult.from_json(data)
                     self._memory[key] = entry
                     self.counters.disk_hits += 1
+                    try:
+                        # Refresh the entry's recency so the size cap
+                        # evicts least-recently-*used*, not least-written.
+                        os.utime(path)
+                    except OSError:
+                        pass
             except (OSError, ValueError, KeyError, TypeError):
                 entry = None  # missing or corrupt entry == miss
         if entry is None:
@@ -198,6 +240,54 @@ class SimulationCache:
                     tmp.unlink(missing_ok=True)
                 except OSError:
                     pass
+            else:
+                self._puts_since_evict += 1
+                if self._puts_since_evict >= _EVICT_EVERY:
+                    self._puts_since_evict = 0
+                    self.evict()
+
+    def disk_entries(self) -> list[tuple[Path, int, float]]:
+        """Every on-disk entry as ``(path, size_bytes, mtime)``; entries
+        that vanish mid-scan (concurrent eviction) are skipped."""
+        if self.directory is None:
+            return []
+        out = []
+        try:
+            paths = list(self.directory.glob("??/*.json"))
+        except OSError:
+            return []
+        for path in paths:
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            out.append((path, st.st_size, st.st_mtime))
+        return out
+
+    def evict(self) -> int:
+        """Bring the disk tier under :attr:`max_bytes` by unlinking the
+        least-recently-used entries (oldest mtime first).  Unlinks are
+        atomic and tolerate concurrent writers/evictors — a lost race is
+        just an entry someone else already removed.  Returns the number
+        of entries evicted."""
+        if self.directory is None or not self.max_bytes:
+            return 0
+        entries = self.disk_entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return 0
+        evicted = 0
+        for path, size, _ in sorted(entries, key=lambda e: e[2]):
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+            self.counters.evictions += 1
+        return evicted
 
     def clear(self) -> None:
         self._memory.clear()

@@ -101,6 +101,201 @@ def miss_curve(byte_addrs: np.ndarray, line_size: int) -> MissCurve:
     )
 
 
+# -- full-counter capacity profiles -------------------------------------------
+@dataclass(frozen=True)
+class StackProfile:
+    """Exact fully-associative LRU *counter block* for every capacity at once.
+
+    :func:`miss_curve` answers misses; a sweep point needs the whole
+    :class:`~repro.machine.cache.CacheStats` (write misses, evictions,
+    writebacks, events out).  All of them reduce to order statistics that
+    one trace pass can precompute for all capacities ``C`` simultaneously:
+
+    * misses(C)        = cold + #{finite reuse distances >= C}
+    * write_misses(C)  = cold writes + #{finite write reuse distances >= C}
+    * evictions(C)     = misses(C) - min(C, distinct lines)  (fills minus
+      final occupancy; every fill beyond occupancy evicted someone)
+    * dirty tenures(C) = #{writes that are the first write of their
+      residency tenure}.  A write *w* to line *l* starts a dirty tenure
+      iff some access to *l* in (previous write to *l*, *w*] misses, i.e.
+      iff the **maximum** reuse distance over that window is >= C — one
+      per-write mark ``m_w`` answers every capacity.
+    * dirty at end(C)  = #{written lines that are resident and whose final
+      tenure saw a write} = #{lines with ``max(t_l + 1, r_l) <= C``} where
+      ``t_l`` is the largest reuse distance strictly after the line's last
+      write (no miss there keeps the tenure alive) and ``r_l`` the line's
+      end-of-run LRU recency rank (1 = most recent).
+
+    With an end-of-run flush every dirty tenure is written back exactly
+    once, so writebacks(C) = dirty tenures(C); without a flush the still
+    resident dirty lines have not drained yet and are subtracted.  These
+    are the same identities :class:`StackDistanceEngine` applies at a
+    fixed capacity, so :meth:`stats` is bit-identical to simulating that
+    capacity — the planner's capacity-collapse rule rests on this.
+    """
+
+    line_size: int
+    total: int  #: accesses in the trace
+    cold: int  #: first-ever (compulsory) misses
+    cold_writes: int  #: compulsory misses that were writes
+    distinct: int  #: distinct lines touched
+    _sorted_deltas: np.ndarray = field(repr=False)  #: finite reuse distances
+    _sorted_write_deltas: np.ndarray = field(repr=False)  #: ... of writes only
+    _sorted_tenure_marks: np.ndarray = field(repr=False)  #: per-write m_w (COLD kept)
+    _sorted_dirty_survival: np.ndarray = field(repr=False)  #: per-line max(t+1, r)
+
+    def misses(self, capacity_lines: int) -> int:
+        if capacity_lines <= 0:
+            return self.total
+        reused = len(self._sorted_deltas)
+        below = int(np.searchsorted(self._sorted_deltas, capacity_lines, side="left"))
+        return self.cold + (reused - below)
+
+    def write_misses(self, capacity_lines: int) -> int:
+        if capacity_lines <= 0:
+            return self.cold_writes + len(self._sorted_write_deltas)
+        wd = self._sorted_write_deltas
+        below = int(np.searchsorted(wd, capacity_lines, side="left"))
+        return self.cold_writes + (len(wd) - below)
+
+    def dirty_tenures(self, capacity_lines: int) -> int:
+        marks = self._sorted_tenure_marks
+        below = int(np.searchsorted(marks, max(capacity_lines, 0), side="left"))
+        return len(marks) - below
+
+    def dirty_resident(self, capacity_lines: int) -> int:
+        return int(
+            np.searchsorted(self._sorted_dirty_survival, capacity_lines, side="right")
+        )
+
+    def stats(self, capacity_lines: int, flush: bool = True):
+        """Counters of a fully-associative LRU level of ``capacity_lines``
+        after one cold pass over the profiled trace (plus an end flush when
+        ``flush``), bit-identical to running any exact engine."""
+        from ..cache import CacheStats
+
+        m = self.misses(capacity_lines)
+        wm = self.write_misses(capacity_lines)
+        tenures = self.dirty_tenures(capacity_lines)
+        if flush:
+            writebacks = tenures
+        else:
+            writebacks = tenures - self.dirty_resident(capacity_lines)
+        return CacheStats(
+            accesses=self.total,
+            hits=self.total - m,
+            misses=m,
+            read_misses=m - wm,
+            write_misses=wm,
+            evictions=m - min(max(capacity_lines, 0), self.distinct),
+            writebacks=writebacks,
+            write_throughs=0,
+            events_out=m + writebacks,
+        )
+
+    def stats_for_size(self, size_bytes: int, flush: bool = True):
+        return self.stats(size_bytes // self.line_size, flush=flush)
+
+
+def _interleaved_max(values: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """``out[k] = values[starts[k]:ends[k]].max()`` for non-empty,
+    non-overlapping, ascending windows — one ``maximum.reduceat`` call."""
+    idx = np.empty(2 * len(starts), dtype=np.int64)
+    idx[0::2] = starts
+    idx[1::2] = ends
+    if len(idx) and idx[-1] == len(values):
+        idx = idx[:-1]  # reduceat's last slice runs to the end anyway
+    return np.maximum.reduceat(values, idx)[0::2]
+
+
+def stack_profile(
+    byte_addrs: np.ndarray, is_write: np.ndarray, line_size: int
+) -> StackProfile:
+    """One pass over a trace -> exact :class:`CacheStats` for all sizes.
+
+    The full-counter companion of :func:`miss_curve` (see
+    :class:`StackProfile` for the identities).  Cold-start semantics: the
+    profile describes a single measured pass from an empty cache.
+    """
+    if line_size <= 0 or line_size & (line_size - 1):
+        raise MachineError(f"line size must be a positive power of two, got {line_size}")
+    lines = np.asarray(byte_addrs, dtype=np.int64) >> (line_size.bit_length() - 1)
+    w = np.asarray(is_write, dtype=bool)
+    n = len(lines)
+    empty = np.empty(0, dtype=np.int64)
+    if n == 0:
+        return StackProfile(line_size, 0, 0, 0, 0, empty, empty, empty, empty)
+
+    prev = previous_occurrences(lines)
+    delta = reuse_distances(lines, prev)
+    cold_mask = prev < 0
+    cold = int(cold_mask.sum())
+    cold_writes = int((cold_mask & w).sum())
+    finite = np.sort(delta[~cold_mask])
+    wfinite = np.sort(delta[~cold_mask & w])
+
+    # Group accesses by line (stable sort keeps trace order inside groups).
+    order = np.argsort(lines, kind="stable")
+    gk, gw, gd = lines[order], w[order], delta[order]
+    gstart = np.empty(n, dtype=bool)
+    gstart[0] = True
+    gstart[1:] = gk[1:] != gk[:-1]
+    gid = np.cumsum(gstart) - 1
+    n_lines = int(gid[-1]) + 1
+    group_starts = np.flatnonzero(gstart)
+    gend_idx = np.empty(n_lines, dtype=np.int64)
+    gend_idx[:-1] = group_starts[1:] - 1
+    gend_idx[-1] = n - 1
+
+    # Running "last write at or before me, within my group": offsetting by
+    # BIG*gid makes maximum.accumulate reset at group boundaries.
+    idx = np.arange(n, dtype=np.int64)
+    big = np.int64(n + 2)
+    u = np.where(gw, idx, np.int64(-1)) + big * gid
+    acc = np.maximum.accumulate(u)
+
+    # m_w: max reuse distance over (previous write to the line, w].
+    wpos = np.flatnonzero(gw)
+    if len(wpos):
+        pw = np.where(
+            gstart[wpos], np.int64(-1), acc[np.maximum(wpos - 1, 0)] - big * gid[wpos]
+        )
+        seg_starts = np.where(pw >= 0, pw + 1, group_starts[gid[wpos]])
+        marks = np.sort(_interleaved_max(gd, seg_starts, wpos + 1))
+    else:
+        marks = empty
+
+    # Per written line: t = max reuse distance strictly after its last
+    # write (-1 if none) and r = end-of-run LRU recency rank.
+    last_pos = order[gend_idx]
+    rank = np.empty(n_lines, dtype=np.int64)
+    rank[np.argsort(-last_pos)] = np.arange(1, n_lines + 1, dtype=np.int64)
+    last_write = acc[gend_idx] - big * np.arange(n_lines, dtype=np.int64)
+    written = last_write >= 0
+    if written.any():
+        tstart = last_write[written] + 1
+        tend = gend_idx[written] + 1
+        t = np.full(int(written.sum()), -1, dtype=np.int64)
+        nonempty = tstart < tend
+        if nonempty.any():
+            t[nonempty] = _interleaved_max(gd, tstart[nonempty], tend[nonempty])
+        survival = np.sort(np.maximum(t + 1, rank[written]))
+    else:
+        survival = empty
+
+    return StackProfile(
+        line_size=line_size,
+        total=n,
+        cold=cold,
+        cold_writes=cold_writes,
+        distinct=n_lines,
+        _sorted_deltas=finite,
+        _sorted_write_deltas=wfinite,
+        _sorted_tenure_marks=marks,
+        _sorted_dirty_survival=survival,
+    )
+
+
 # -- the fully-associative engine ---------------------------------------------
 class StackDistanceEngine(BaseEngine):
     """Exact vectorized fully-associative LRU level (counters, no events)."""

@@ -136,6 +136,39 @@ class Hierarchy:
             stores += chunk.stores
         return StreamTotals(n_chunks, accesses, flops, loads, stores)
 
+    @staticmethod
+    def run_stream_multi(
+        hierarchies: list["Hierarchy"], chunks: Iterable["Trace"]
+    ) -> "StreamTotals":
+        """Feed one ordered chunk stream to several hierarchies in a
+        single pass (the planner's trace-sharing rule): each chunk is
+        generated once and fanned out to every hierarchy before the next
+        chunk is pulled, so peak memory stays O(chunk) no matter how many
+        sweep points share the trace.  Each hierarchy ends up bit-identical
+        to running :meth:`run_stream` on its own copy of the stream.
+        """
+        from ..trace.stream import fanout_chunks
+
+        if not hierarchies:
+            raise ValueError("run_stream_multi needs at least one hierarchy")
+        streams = fanout_chunks(chunks, len(hierarchies), depth=1)
+        n_chunks = accesses = flops = loads = stores = 0
+        while True:
+            try:
+                chunk = next(streams[0])
+            except StopIteration:
+                break
+            hierarchies[0].run_trace(chunk.addresses, chunk.is_write)
+            n_chunks += 1
+            accesses += len(chunk)
+            flops += chunk.flops
+            loads += chunk.loads
+            stores += chunk.stores
+            for h, s in zip(hierarchies[1:], streams[1:]):
+                same = next(s)
+                h.run_trace(same.addresses, same.is_write)
+        return StreamTotals(n_chunks, accesses, flops, loads, stores)
+
     def flush(self) -> None:
         """Drain dirty lines of every level down to memory."""
         last = len(self.caches) - 1

@@ -47,6 +47,72 @@ class _Raised:
         self.exc = exc
 
 
+def fanout_chunks(
+    chunks: Iterable[Trace], n: int, depth: int = DEFAULT_DEPTH
+) -> list[Iterator[Trace]]:
+    """Split one chunk stream into ``n`` iterators over the *same* chunks.
+
+    The sweep planner's trace-sharing rule drives several consumers (one
+    hierarchy each) from a single generation pass.  Each returned iterator
+    yields every upstream chunk in order; a chunk is generated exactly
+    once and dropped as soon as every consumer has taken it.  Buffering is
+    bounded: a consumer may run at most ``depth`` chunks ahead of the
+    slowest one — pulling further raises ``RuntimeError`` rather than
+    letting the shared buffer grow to O(trace).  Interleave consumption
+    (round-robin, as :meth:`Hierarchy.run_stream_multi` does) to stay
+    inside the bound.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    state = _FanoutState(iter(chunks), n, depth)
+    return [state.consumer(i) for i in range(n)]
+
+
+class _FanoutState:
+    """Shared buffer behind :func:`fanout_chunks`."""
+
+    def __init__(self, source: Iterator[Trace], n: int, depth: int):
+        self.source = source
+        self.depth = depth
+        self.buffer: list[Trace] = []
+        self.base = 0  # absolute index of buffer[0]
+        self.pos = [0] * n  # next absolute chunk index per consumer
+        self.exhausted = False
+
+    def _next_for(self, i: int) -> Trace:
+        want = self.pos[i]
+        while want >= self.base + len(self.buffer):
+            if self.exhausted:
+                raise StopIteration
+            if self.base + len(self.buffer) - min(self.pos) >= self.depth:
+                raise RuntimeError(
+                    f"fanout consumer {i} ran more than {self.depth} chunks "
+                    "ahead of the slowest consumer; interleave consumption "
+                    "or raise depth"
+                )
+            try:
+                self.buffer.append(next(self.source))
+            except StopIteration:
+                self.exhausted = True
+        chunk = self.buffer[want - self.base]
+        self.pos[i] = want + 1
+        drop = min(self.pos) - self.base
+        if drop:
+            del self.buffer[:drop]
+            self.base += drop
+        return chunk
+
+    def consumer(self, i: int) -> Iterator[Trace]:
+        while True:
+            try:
+                chunk = self._next_for(i)
+            except StopIteration:
+                return
+            yield chunk
+
+
 def prefetch_chunks(
     chunks: Iterable[Trace], depth: int = DEFAULT_DEPTH
 ) -> Iterator[Trace]:

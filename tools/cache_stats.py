@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Report on-disk simulation-cache occupancy (``.repro_cache/``).
+
+Prints entry count, total bytes against the configured cap
+(``REPRO_CACHE_MAX_BYTES``, default 2 GB), and the age spread of the
+LRU order the size cap evicts in::
+
+    PYTHONPATH=src python tools/cache_stats.py
+    PYTHONPATH=src python tools/cache_stats.py --dir /tmp/cache --evict
+
+``--evict`` additionally runs one eviction sweep (what a capped put
+does) and reports what it removed.  Exits 0 always; an absent directory
+is just an empty cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if not any((Path(p) / "repro").is_dir() for p in sys.path if p):
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.machine.engine.simcache import DEFAULT_DIR, SimulationCache  # noqa: E402
+
+
+def _human(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024 or unit == "GB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n:.0f} B"
+        n /= 1024
+    return f"{n:.1f} GB"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cache-stats", description="Simulation-cache disk-tier report."
+    )
+    parser.add_argument(
+        "--dir", default=DEFAULT_DIR, help="cache directory (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--evict",
+        action="store_true",
+        help="run one LRU eviction sweep against the configured cap",
+    )
+    args = parser.parse_args(argv)
+
+    cache = SimulationCache(args.dir)
+    entries = cache.disk_entries()
+    total = sum(size for _, size, _ in entries)
+    cap = cache.max_bytes
+
+    print(f"cache directory: {cache.directory}")
+    print(f"entries: {len(entries)}")
+    cap_text = _human(cap) if cap else "unlimited"
+    used = f" ({total / cap:.1%} of cap)" if cap else ""
+    print(f"size: {_human(total)} / {cap_text}{used}")
+    if entries:
+        now = time.time()
+        ages = sorted(now - mtime for _, _, mtime in entries)
+        print(
+            f"age: newest {ages[0] / 60:.1f} min, "
+            f"median {ages[len(ages) // 2] / 60:.1f} min, "
+            f"oldest {ages[-1] / 60:.1f} min"
+        )
+        sizes = sorted(size for _, size, _ in entries)
+        print(
+            f"entry size: min {_human(sizes[0])}, "
+            f"median {_human(sizes[len(sizes) // 2])}, "
+            f"max {_human(sizes[-1])}"
+        )
+    if args.evict:
+        removed = cache.evict()
+        after = sum(size for _, size, _ in cache.disk_entries())
+        print(f"evicted: {removed} entries ({_human(total - after)} freed)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
