@@ -35,9 +35,11 @@ _API_EXPORTS = (
     "predict",
     "run_experiment",
     "run_experiments",
+    "serve_session",
     "simulate",
     "simulate_batch",
     "simulate_stream",
+    "submit",
 )
 
 __all__ = ["__version__", "api", *_API_EXPORTS]

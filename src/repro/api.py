@@ -344,6 +344,59 @@ def optimize(
     )
 
 
+def submit(
+    requests: Sequence[SimRequest],
+    address: str,
+    *,
+    tenant: str | None = None,
+    progress=None,
+) -> list[SimulationResult]:
+    """Run a sweep through a running repro daemon (``repro serve``).
+
+    Same contract as :func:`simulate_batch` — results in request order,
+    bit-identical to local execution — but points are content-keyed,
+    deduplicated against other clients' in-flight work, and coalesced
+    into the daemon's planned micro-batches.  ``address`` is the string
+    the daemon prints (``unix:<path>`` or ``tcp:<host>:<port>``);
+    ``progress`` (a ``callback(done, total)``) streams incremental sweep
+    progress.  Rejections (full queue, over-quota tenant, draining
+    server) raise :class:`repro.service.client.ServiceError` immediately
+    — a client is never left hanging.
+    """
+    from .service.client import submit as _submit
+
+    return _submit(list(requests), address, tenant=tenant, progress=progress)
+
+
+def serve_session(config=None):
+    """An ephemeral daemon session: starts a service in the background,
+    yields a connected client, drains on exit.
+
+    ::
+
+        with repro.serve_session() as client:
+            results = client.simulate_batch(requests)
+
+    ``config`` is an optional :class:`repro.service.server.ServeConfig`.
+    For a long-lived daemon use ``repro serve`` and :func:`submit`.
+    """
+    import contextlib
+
+    from .service.client import ServiceClient
+    from .service.server import BackgroundServer
+
+    @contextlib.contextmanager
+    def _session():
+        with BackgroundServer(config) as background:
+            client = ServiceClient(background.address)
+            try:
+                yield client
+            finally:
+                client.close()
+
+    return _session()
+
+
 def run_experiment(
     name: str, config: ExperimentConfig | None = None
 ) -> ExperimentResult:
@@ -397,7 +450,9 @@ __all__ = [
     "predict",
     "run_experiment",
     "run_experiments",
+    "serve_session",
     "simulate",
     "simulate_batch",
     "simulate_stream",
+    "submit",
 ]

@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -42,6 +43,28 @@ DEFAULT_RESULTS_DIR = "results"
 
 #: Seconds between scheduler polls of the running workers.
 _POLL_INTERVAL = 0.02
+
+
+# -- graceful drain ------------------------------------------------------------
+# SIGTERM (runner) or shutdown (service) requests a drain: in-flight
+# workers run to completion, tasks not yet started are recorded as
+# ``cancelled``, and the manifest is still written.  The flag is an Event
+# so signal handlers and server threads can set it safely.
+_drain_event = threading.Event()
+
+
+def request_drain() -> None:
+    """Ask any running battery in this process to stop starting new work."""
+    _drain_event.set()
+
+
+def drain_requested() -> bool:
+    return _drain_event.is_set()
+
+
+def reset_drain() -> None:
+    """Clear the flag (start of a new battery / tests)."""
+    _drain_event.clear()
 
 
 @dataclass(frozen=True)
@@ -204,6 +227,12 @@ def _run_inline(
 ) -> Iterator[ExperimentResult]:
     memo: dict[tuple[str, ExperimentConfig], ExperimentResult] = {}
     for task in tasks:
+        if drain_requested():
+            yield failed_result(
+                task.name, task.config,
+                "battery drained before this task started", status="cancelled",
+            )
+            continue
         key = _task_key(task)
         if key in memo:
             if stats is not None:
@@ -277,6 +306,16 @@ def _run_pool(
 
     try:
         while pending or running:
+            if drain_requested() and pending:
+                # Drain: nothing new starts; whatever is in flight
+                # finishes (or times out) and is collected normally.
+                while pending:
+                    index, task, _attempt = pending.pop()
+                    done[index] = failed_result(
+                        task.name, task.config,
+                        "battery drained before this task started",
+                        status="cancelled",
+                    )
             while pending and len(running) < max(1, options.jobs):
                 index, task, attempt = pending.pop()
                 leader = next(
@@ -361,7 +400,11 @@ def build_manifest(
     jobs: int = 1,
     command: Sequence[str] | None = None,
     dedup_hits: int = 0,
+    service: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
+    """``service`` is the daemon's telemetry block (queue/batch/dedup and
+    latency accounting) when the battery ran under ``repro serve``; it is
+    empty for direct CLI runs, matching the per-result block convention."""
     return {
         "schema_version": SCHEMA_VERSION,
         "run_id": run_id or new_run_id(),
@@ -369,6 +412,7 @@ def build_manifest(
         "jobs": jobs,
         "command": list(command) if command is not None else None,
         "dedup_hits": dedup_hits,
+        "service": dict(service) if service else {},
         "results": [r.to_json() for r in results],
     }
 
@@ -451,7 +495,10 @@ __all__ = [
     "build_manifest",
     "build_plan",
     "comparable_manifest",
+    "drain_requested",
     "new_run_id",
+    "request_drain",
+    "reset_drain",
     "run_battery",
     "run_tasks",
     "summary_table",

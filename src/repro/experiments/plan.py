@@ -119,6 +119,29 @@ class SimRequest:
     validate: bool = True
 
 
+def request_key(request: SimRequest) -> str:
+    """Content key identifying one request's exact simulation.
+
+    The same ``(program text, bound params, placements, machine signature,
+    schedule)`` tuple the planner and simcache use — two requests with
+    equal keys are guaranteed bit-identical, which is what lets the
+    service collapse them onto one in-flight future.
+    """
+    bound = request.program.bind_params(request.params)
+    layout = build_layout(
+        request.program, bound, request.layout_policy or request.machine.default_layout
+    )
+    return simulation_key(
+        render(request.program),
+        bound,
+        layout.placements,
+        machine_signature(request.machine),
+        passes=request.passes,
+        warmup_passes=request.warmup_passes,
+        flush=request.flush,
+    )
+
+
 # -- telemetry ----------------------------------------------------------------
 @dataclass
 class PlanSession:
@@ -798,6 +821,7 @@ __all__ = [
     "configure_plan",
     "execute_plan",
     "get_plan",
+    "request_key",
     "run_batch",
     "summarize_plan",
 ]

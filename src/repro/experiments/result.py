@@ -51,10 +51,14 @@ from .report import Table
 #: accounting: request groups, points answered per collapse rule,
 #: accesses simulated vs requested, per-point fallback reasons), the
 #: ``plan`` config knob, and the manifest-level ``dedup_hits`` counter.
-SCHEMA_VERSION = 6
+#: v7 added the manifest-level ``service`` block (queue/batch/dedup and
+#: latency telemetry when a battery ran under ``repro serve``), the
+#: ``cancelled`` status (tasks drained by SIGTERM before starting), and
+#: the cross-process claim counters in ``sim_cache``.
+SCHEMA_VERSION = 7
 
 #: Result statuses the orchestrator can record.
-STATUSES = ("ok", "failed", "timeout")
+STATUSES = ("ok", "failed", "timeout", "cancelled")
 
 
 @dataclass
@@ -304,6 +308,10 @@ def experiment(
                     "puts": delta.puts,
                     "disk_hits": delta.disk_hits,
                 }
+                # Cross-process in-flight guard activity, only when it fired.
+                for name in ("claims", "claim_waits", "takeovers"):
+                    if getattr(delta, name):
+                        counters[name] = getattr(delta, name)
             return ExperimentResult(
                 experiment=experiment_id,
                 status="ok",

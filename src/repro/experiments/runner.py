@@ -19,6 +19,7 @@ describes the format).
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import warnings
 from typing import Any
@@ -30,6 +31,9 @@ from .orchestrator import (
     RunStats,
     build_manifest,
     build_plan,
+    drain_requested,
+    request_drain,
+    reset_drain,
     run_tasks,
     summary_table,
     write_manifest,
@@ -365,11 +369,26 @@ def main(argv: list[str] | None = None) -> int:
           f"trace pipeline: {pipeline}, simulation: {sharding}, "
           f"sweep points: {predicting}, batches: {planning}, mode: {mode}\n")
 
+    # Graceful drain: SIGTERM lets in-flight experiments finish, cancels
+    # the rest, and still writes the manifest (exit code flags the gap).
+    reset_drain()
+    previous_handler: Any = None
+    try:
+        previous_handler = signal.signal(
+            signal.SIGTERM, lambda _sig, _frame: request_drain()
+        )
+    except ValueError:
+        pass  # not the main thread (embedded use): no handler, no drain
+
     stats = RunStats()
     results: list[ExperimentResult] = []
-    for task, result in zip(tasks, run_tasks(tasks, options, stats)):
-        results.append(result)
-        _print_result(result, task.display(), args.charts)
+    try:
+        for task, result in zip(tasks, run_tasks(tasks, options, stats)):
+            results.append(result)
+            _print_result(result, task.display(), args.charts)
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
 
     if len(results) > 1:
         print(summary_table(results).render())
@@ -388,7 +407,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"manifest: {path}")
 
     # Graceful degradation: failures are recorded in the manifest, they do
-    # not fail the battery.
+    # not fail the battery — except after a drain, where a partial run
+    # must be visible to the caller (CI, service) via the exit code.
+    if drain_requested():
+        incomplete = sum(1 for r in results if not r.ok) + (len(tasks) - len(results))
+        print(f"drained on SIGTERM: {incomplete} of {len(tasks)} task(s) incomplete")
+        return 1 if incomplete else 0
     return 0
 
 

@@ -182,6 +182,7 @@ def execute(
         memo = get_sim_cache() if sim_cache else None
     key = None
     cached = None
+    claimed = False
     if memo is not None:
         key = simulation_key(
             render(program),
@@ -193,61 +194,79 @@ def execute(
             flush=flush,
         )
         cached = memo.get(key)
+        if cached is None:
+            # Cross-process in-flight guard: if another process already
+            # claimed this key, wait for its published result instead of
+            # duplicating the simulation.  Every failure mode (owner died,
+            # timeout, unclaimable disk) falls through to simulating here.
+            claimed = memo.claim(key)
+            if not claimed:
+                cached = memo.wait_for(key)
+                if cached is None:
+                    claimed = memo.claim(key)
 
-    if cached is not None:
-        result = cached.result
-        trace_flops, trace_loads, trace_stores = (
-            cached.flops,
-            cached.loads,
-            cached.stores,
-        )
-    elif stream:
-        result, trace_flops, trace_loads, trace_stores = _execute_streamed(
-            program,
-            machine,
-            bound,
-            layout,
-            validate,
-            engine,
-            passes,
-            warmup_passes,
-            flush,
-            stream,
-            chunk_accesses,
-            shards,
-        )
-    else:
-        with phase(TRACE_GEN):
-            gen = TraceGenerator(program, bound, layout, validate=validate)
-            trace = gen.generate()
-        if len(trace) == 0 and trace.flops == 0:
-            raise ExecutionError(f"program {program.name!r} generates no work")
-        trace_telemetry.record_trace_bytes(trace.nbytes)
+    try:
+        if cached is not None:
+            result = cached.result
+            trace_flops, trace_loads, trace_stores = (
+                cached.flops,
+                cached.loads,
+                cached.stores,
+            )
+        elif stream:
+            result, trace_flops, trace_loads, trace_stores = _execute_streamed(
+                program,
+                machine,
+                bound,
+                layout,
+                validate,
+                engine,
+                passes,
+                warmup_passes,
+                flush,
+                stream,
+                chunk_accesses,
+                shards,
+            )
+        else:
+            with phase(TRACE_GEN):
+                gen = TraceGenerator(program, bound, layout, validate=validate)
+                trace = gen.generate()
+            if len(trace) == 0 and trace.flops == 0:
+                raise ExecutionError(f"program {program.name!r} generates no work")
+            trace_telemetry.record_trace_bytes(trace.nbytes)
 
-        with phase(SIMULATE):
-            hierarchy = build_hierarchy(machine, engine, shards=shards)
-            try:
-                for _ in range(warmup_passes):
-                    hierarchy.run_trace(trace.addresses, trace.is_write)
-                if warmup_passes:
-                    hierarchy.reset_stats()
+            with phase(SIMULATE):
+                hierarchy = build_hierarchy(machine, engine, shards=shards)
+                try:
+                    for _ in range(warmup_passes):
+                        hierarchy.run_trace(trace.addresses, trace.is_write)
+                    if warmup_passes:
+                        hierarchy.reset_stats()
 
-                for _ in range(passes):
-                    hierarchy.run_trace(trace.addresses, trace.is_write)
-                if flush:
-                    hierarchy.flush()
-                result = hierarchy.result()
-            finally:
-                hierarchy.close()
-        trace_flops, trace_loads, trace_stores = trace.flops, trace.loads, trace.stores
+                    for _ in range(passes):
+                        hierarchy.run_trace(trace.addresses, trace.is_write)
+                    if flush:
+                        hierarchy.flush()
+                    result = hierarchy.result()
+                finally:
+                    hierarchy.close()
+            trace_flops, trace_loads, trace_stores = (
+                trace.flops,
+                trace.loads,
+                trace.stores,
+            )
 
-    if cached is None and memo is not None and key is not None:
-        # Streamed and materialized runs are bit-identical, so they share
-        # cache entries (the key does not encode the pipeline).
-        memo.put(
-            key,
-            SimulationResult(result, trace_flops, trace_loads, trace_stores),
-        )
+        if cached is None and memo is not None and key is not None:
+            # Streamed and materialized runs are bit-identical, so they share
+            # cache entries (the key does not encode the pipeline).
+            memo.put(
+                key,
+                SimulationResult(result, trace_flops, trace_loads, trace_stores),
+            )
+    finally:
+        if claimed:
+            memo.release(key)
 
     return assemble_run(
         program.name,

@@ -31,6 +31,7 @@ import hashlib
 import itertools
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
@@ -51,6 +52,16 @@ DEFAULT_MAX_BYTES = 2 << 30  # 2 GB
 #: Disk puts between eviction sweeps (a sweep stats every entry, so it
 #: is throttled rather than run per put).
 _EVICT_EVERY = 64
+
+#: A claim file older than this is treated as abandoned even if a process
+#: with the recorded pid exists (guards against pid reuse after a crash).
+CLAIM_STALE_S = 300.0
+
+#: Poll interval while waiting on another process's in-flight simulation.
+_CLAIM_POLL_S = 0.02
+
+#: Default bound on how long a waiter polls before simulating anyway.
+CLAIM_WAIT_S = 60.0
 
 
 def cache_max_bytes() -> int:
@@ -149,10 +160,14 @@ class CacheCounters:
     puts: int = 0
     disk_hits: int = 0
     evictions: int = 0  # disk entries removed by the size cap
+    claims: int = 0  # cross-process in-flight claims acquired
+    claim_waits: int = 0  # waits on another process that ended in its result
+    takeovers: int = 0  # stale claims (dead/ancient owner) taken over
 
     def snapshot(self) -> "CacheCounters":
         return CacheCounters(
-            self.hits, self.misses, self.puts, self.disk_hits, self.evictions
+            self.hits, self.misses, self.puts, self.disk_hits, self.evictions,
+            self.claims, self.claim_waits, self.takeovers,
         )
 
     def since(self, before: "CacheCounters") -> "CacheCounters":
@@ -162,6 +177,9 @@ class CacheCounters:
             self.puts - before.puts,
             self.disk_hits - before.disk_hits,
             self.evictions - before.evictions,
+            self.claims - before.claims,
+            self.claim_waits - before.claim_waits,
+            self.takeovers - before.takeovers,
         )
 
     def __str__(self) -> str:
@@ -289,11 +307,154 @@ class SimulationCache:
             self.counters.evictions += 1
         return evicted
 
+    # -- cross-process in-flight guard ---------------------------------------
+    # A sidecar ``<key>.claim`` file marks "some process is simulating this
+    # key right now".  It is advisory and purely an optimization: every
+    # failure mode (unwritable disk, corrupt claim, timeout, dead owner)
+    # degrades to simulating locally, never to a wrong or missing result.
+
+    def _claim_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.claim"
+
+    def _claim_stale(self, path: Path) -> bool:
+        """True when the claim's owner is gone (dead pid, vanished file,
+        or a claim older than :data:`CLAIM_STALE_S`)."""
+        try:
+            st = path.stat()
+        except OSError:
+            return True  # owner released between our EXCL failure and now
+        try:
+            pid = int(json.loads(path.read_text())["pid"])
+        except (OSError, ValueError, KeyError, TypeError):
+            pid = None
+        if pid is not None:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True
+            except OSError:
+                pass  # EPERM etc: process exists but is not ours
+        return time.time() - st.st_mtime > CLAIM_STALE_S
+
+    def claim(self, key: str) -> bool:
+        """Try to claim cross-process ownership of ``key``'s simulation.
+
+        ``True`` means this process should simulate (and must
+        :meth:`release` when done, result published or not).  ``False``
+        means another live process holds the claim — poll
+        :meth:`wait_for` instead of duplicating the work.  Without a
+        disk tier there is nothing to coordinate and the answer is
+        always ``True``.
+        """
+        if self.directory is None:
+            return True
+        path = self._claim_path(key)
+        for attempt in range(2):
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if attempt == 0 and self._claim_stale(path):
+                    try:
+                        path.unlink(missing_ok=True)
+                    except OSError:
+                        return True  # cannot arbitrate: simulate locally
+                    self.counters.takeovers += 1
+                    continue
+                return False
+            except OSError:
+                return True  # disk trouble never blocks correctness
+            try:
+                with os.fdopen(fd, "w") as f:
+                    f.write(json.dumps({"pid": os.getpid(), "time": time.time()}))
+            except OSError:
+                pass  # an empty claim file still claims
+            self.counters.claims += 1
+            return True
+        return False
+
+    def release(self, key: str) -> None:
+        """Drop this process's claim (idempotent; call after :meth:`put`
+        so waiters observe the result before the claim disappears)."""
+        if self.directory is None:
+            return
+        try:
+            self._claim_path(key).unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    def wait_for(
+        self, key: str, timeout: float = CLAIM_WAIT_S
+    ) -> SimulationResult | None:
+        """Poll for the result another process claimed.
+
+        Returns the entry once the owner publishes it, or ``None`` when
+        the claim vanishes without a result or ``timeout`` elapses —
+        callers then simulate locally, so a waiter can never hang on a
+        crashed owner longer than the timeout.
+        """
+        if self.directory is None:
+            return None
+        path = self._path(key)
+        claim = self._claim_path(key)
+        deadline = time.monotonic() + timeout
+        while True:
+            if path.exists():
+                entry = self.get(key)
+                if entry is not None:
+                    self.counters.claim_waits += 1
+                    return entry
+            if not claim.exists():
+                # Owner released: one final look (result may have landed
+                # between our exists() checks), then give up.
+                entry = self.get(key) if path.exists() else None
+                if entry is not None:
+                    self.counters.claim_waits += 1
+                return entry
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(_CLAIM_POLL_S)
+
     def clear(self) -> None:
         self._memory.clear()
 
     def __len__(self) -> int:
         return len(self._memory)
+
+
+def disk_report(cache: SimulationCache) -> dict[str, Any] | None:
+    """Structured report on a cache's disk tier (None when it has none).
+
+    Shared by ``tools/cache_stats.py --json`` and the service's stats
+    endpoint, so both read the same numbers the same way.
+    """
+    if cache.directory is None:
+        return None
+    entries = cache.disk_entries()
+    total = sum(size for _, size, _ in entries)
+    try:
+        live_claims = sum(1 for _ in cache.directory.glob("??/*.claim"))
+    except OSError:
+        live_claims = 0
+    report: dict[str, Any] = {
+        "directory": str(cache.directory),
+        "entries": len(entries),
+        "total_bytes": total,
+        "max_bytes": cache.max_bytes,
+        "live_claims": live_claims,
+    }
+    if entries:
+        now = time.time()
+        ages = sorted(now - mtime for _, _, mtime in entries)
+        sizes = sorted(size for _, size, _ in entries)
+        report["age_newest_s"] = ages[0]
+        report["age_median_s"] = ages[len(ages) // 2]
+        report["age_oldest_s"] = ages[-1]
+        report["entry_min_bytes"] = sizes[0]
+        report["entry_median_bytes"] = sizes[len(sizes) // 2]
+        report["entry_max_bytes"] = sizes[-1]
+    return report
 
 
 # -- process-wide default -----------------------------------------------------

@@ -32,6 +32,21 @@ class LayoutPolicy:
         if self.pad_bytes < 0 or self.base_address < 0:
             raise MachineError("padding and base address must be non-negative")
 
+    def to_json(self) -> dict[str, int]:
+        return {
+            "alignment": self.alignment,
+            "pad_bytes": self.pad_bytes,
+            "base_address": self.base_address,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, int]) -> "LayoutPolicy":
+        return cls(
+            alignment=int(data.get("alignment", 64)),
+            pad_bytes=int(data.get("pad_bytes", 0)),
+            base_address=int(data.get("base_address", 0)),
+        )
+
 
 @dataclass(frozen=True)
 class ArrayPlacement:

@@ -9,6 +9,7 @@ balance* is bandwidth divided by peak flop rate, in bytes per flop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
 
 from ..errors import MachineError
 from .cache import Cache, CacheGeometry
@@ -31,6 +32,32 @@ class CacheLevelSpec:
             raise MachineError(f"{self.name}: bandwidth must be positive")
         if self.downstream_latency < 0:
             raise MachineError(f"{self.name}: latency must be non-negative")
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "geometry": {
+                "size_bytes": self.geometry.size_bytes,
+                "line_size": self.geometry.line_size,
+                "associativity": self.geometry.associativity,
+            },
+            "downstream_bandwidth": self.downstream_bandwidth,
+            "downstream_latency": self.downstream_latency,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "CacheLevelSpec":
+        geo = data["geometry"]
+        return cls(
+            name=data["name"],
+            geometry=CacheGeometry(
+                size_bytes=int(geo["size_bytes"]),
+                line_size=int(geo["line_size"]),
+                associativity=int(geo["associativity"]),
+            ),
+            downstream_bandwidth=float(data["downstream_bandwidth"]),
+            downstream_latency=float(data["downstream_latency"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -119,6 +146,32 @@ class MachineSpec:
             replace(lvl, geometry=lvl.geometry.scaled(factor)) for lvl in self.cache_levels
         )
         return replace(self, name=f"{self.name}/{factor}", cache_levels=levels)
+
+    # -- wire format ---------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        """JSON-serializable description, round-tripped by :meth:`from_json`
+        (the service protocol ships machines this way)."""
+        return {
+            "name": self.name,
+            "peak_flops": self.peak_flops,
+            "register_bandwidth": self.register_bandwidth,
+            "register_latency": self.register_latency,
+            "cache_levels": [lvl.to_json() for lvl in self.cache_levels],
+            "default_layout": self.default_layout.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "MachineSpec":
+        return cls(
+            name=data["name"],
+            peak_flops=float(data["peak_flops"]),
+            register_bandwidth=float(data["register_bandwidth"]),
+            cache_levels=tuple(
+                CacheLevelSpec.from_json(lvl) for lvl in data["cache_levels"]
+            ),
+            default_layout=LayoutPolicy.from_json(data.get("default_layout") or {}),
+            register_latency=float(data.get("register_latency", 0.0)),
+        )
 
     def describe(self) -> str:
         lines = [f"{self.name}: peak {self.peak_flops / 1e6:.0f} Mflop/s"]

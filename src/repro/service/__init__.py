@@ -1,0 +1,37 @@
+"""The repro daemon: a continuous micro-batching simulation service.
+
+``repro serve`` starts a small asyncio front-end speaking a JSON-lines
+protocol over a unix or TCP socket.  Clients submit sweep points
+(:class:`~repro.experiments.plan.SimRequest` on the wire), analytic
+predictions and experiment jobs; the server content-keys every point,
+deduplicates identical in-flight work across clients, and coalesces
+compatible queued points into single :func:`~repro.experiments.plan.run_batch`
+executions so overlapping sweeps share trace generation and cache-prefix
+simulation exactly like a planned batch would.
+
+Results returned over the wire are the raw simulation counters; the thin
+client (:mod:`repro.service.client`) reassembles them through
+:func:`~repro.interp.executor.assemble_run`, so a served answer is
+bit-identical to calling :func:`repro.api.simulate_batch` locally.
+
+Layers:
+
+- :mod:`repro.service.protocol` — wire format (framing, request/response
+  encoding, validation).
+- :mod:`repro.service.executor` — batch jobs run on the worker executor
+  (planned simulation, prediction, experiments) plus their telemetry.
+- :mod:`repro.service.server` — the asyncio daemon: admission control,
+  dedup, micro-batching, progress streaming, stats, SIGTERM drain.
+- :mod:`repro.service.client` — synchronous thin client.
+"""
+
+from .client import ServiceClient, submit
+from .server import BackgroundServer, ServeConfig, Server
+
+__all__ = [
+    "BackgroundServer",
+    "ServeConfig",
+    "Server",
+    "ServiceClient",
+    "submit",
+]

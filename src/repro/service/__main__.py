@@ -1,0 +1,8 @@
+"""``python -m repro.service`` — same as ``repro serve``."""
+
+import sys
+
+from ..cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["serve", *sys.argv[1:]]))

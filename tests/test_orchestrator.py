@@ -5,7 +5,11 @@ from __future__ import annotations
 
 import json
 import os
+import signal
+import subprocess
 import sys
+import textwrap
+import threading
 import time
 from pathlib import Path
 
@@ -146,12 +150,26 @@ def _shard_hang_experiment(config):
     time.sleep(60)
 
 
+def _slow_ok_experiment(config):
+    time.sleep(1.5)
+    return _ok_experiment(config)
+
+
+def _drain_trigger_experiment(config):
+    from repro.experiments.orchestrator import request_drain
+
+    request_drain()
+    return _ok_experiment(config)
+
+
 REGISTRY = {
     "ok": _ok_experiment,
     "boom": _crash_experiment,
     "hang": _hang_experiment,
     "flaky": _flaky_experiment,
     "count": _count_experiment,
+    "slow_ok": _slow_ok_experiment,
+    "drain_trigger": _drain_trigger_experiment,
     "shard_crash": _shard_crash_experiment,
     "shard_hang": _shard_hang_experiment,
 }
@@ -284,6 +302,129 @@ class TestGracefulDegradation:
         options = OrchestratorOptions(jobs=3, timeout=5.0, retries=0, registry=REGISTRY)
         results = list(run_tasks(_tasks("ok", "boom", "ok"), options))
         assert [r.status for r in results] == ["ok", "failed", "ok"]
+
+
+class TestDrain:
+    """SIGTERM drain: in-flight experiments finish, pending ones are
+    cancelled (not abandoned), and the manifest still validates."""
+
+    def test_pool_drain_finishes_inflight_cancels_pending(self):
+        from repro.experiments.orchestrator import request_drain, reset_drain
+
+        # Distinct configs so the scheduler does not dedup the two slow
+        # tasks into one execution: both must be genuinely in flight.
+        tasks = [
+            ExperimentTask(name, ExperimentConfig(scale=scale, sim_cache=False), name)
+            for name, scale in (("slow_ok", 64), ("slow_ok", 65), ("ok", 66))
+        ]
+        options = OrchestratorOptions(jobs=2, timeout=60, retries=0, registry=REGISTRY)
+        timer = threading.Timer(0.3, request_drain)
+        timer.start()
+        try:
+            results = list(run_tasks(tasks, options))
+        finally:
+            timer.cancel()
+            reset_drain()
+        assert [r.status for r in results] == ["ok", "ok", "cancelled"]
+        assert "drained" in results[2].error
+
+    def test_inline_drain_cancels_the_rest(self):
+        from repro.experiments.orchestrator import reset_drain
+
+        options = OrchestratorOptions(jobs=1, retries=0, registry=REGISTRY)
+        try:
+            results = list(run_tasks(_tasks("drain_trigger", "ok", "ok"), options))
+        finally:
+            reset_drain()
+        assert [r.status for r in results] == ["ok", "cancelled", "cancelled"]
+        assert all("drained" in r.error for r in results[1:])
+
+    def test_drained_manifest_validates_and_leaves_no_tmp(self, tmp_path):
+        from repro.experiments.orchestrator import reset_drain
+
+        options = OrchestratorOptions(jobs=1, retries=0, registry=REGISTRY)
+        try:
+            results = list(run_tasks(_tasks("drain_trigger", "ok"), options))
+        finally:
+            reset_drain()
+        manifest = build_manifest(results, jobs=1, run_id="drained")
+        sys.path.insert(0, str(TOOLS))
+        try:
+            from validate_manifest import validate
+        finally:
+            sys.path.remove(str(TOOLS))
+        validate(manifest, json.loads(SCHEMA.read_text()))
+        path = write_manifest(manifest, tmp_path)
+        statuses = [r["status"] for r in json.loads(path.read_text())["results"]]
+        assert statuses == ["ok", "cancelled"]
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_runner_sigterm_drains_cleanly(self, tmp_path):
+        """End to end: SIGTERM a running battery process.  The in-flight
+        experiment finishes, the rest are cancelled, a valid manifest is
+        written (no .tmp litter), and the exit code flags the gap."""
+        results_dir = tmp_path / "results"
+        code = textwrap.dedent(
+            """
+            import sys, time
+
+            import repro.experiments.registry as registry
+            from repro.experiments import runner
+            from repro.experiments.result import ExperimentResult
+
+            def _fast(config):
+                return ExperimentResult(
+                    experiment="fast", title="Fast", headers=("k", "v"),
+                    rows=[["answer", 42]], config=config.to_json(),
+                )
+
+            def _slow(config):
+                time.sleep(2.5)
+                return _fast(config)
+
+            registry.EXPERIMENTS.clear()
+            registry.EXPERIMENTS.update({"slow": _slow, "fast": _fast})
+            print("READY", flush=True)
+            sys.exit(runner.main([
+                "slow", "fast", "fast", "--jobs", "1", "--timeout", "60",
+                "--retries", "0", "--no-sim-cache",
+                "--results-dir", sys.argv[1],
+            ]))
+            """
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", code, str(results_dir)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        )
+        try:
+            for line in proc.stdout:
+                if "READY" in line:
+                    break
+            time.sleep(1.0)  # SIGTERM lands while "slow" is in flight
+            proc.send_signal(signal.SIGTERM)
+            out = proc.stdout.read()
+            rc = proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert rc == 1, out
+        assert "drained on SIGTERM" in out
+        manifests = list(results_dir.glob("run-*.json"))
+        assert len(manifests) == 1
+        manifest = json.loads(manifests[0].read_text())
+        statuses = [r["status"] for r in manifest["results"]]
+        assert statuses == ["ok", "cancelled", "cancelled"]
+        sys.path.insert(0, str(TOOLS))
+        try:
+            from validate_manifest import validate
+        finally:
+            sys.path.remove(str(TOOLS))
+        validate(manifest, json.loads(SCHEMA.read_text()))
+        assert not list(results_dir.glob("*.tmp"))
 
 
 class TestShardedFailurePaths:

@@ -192,6 +192,79 @@ class TestFanout:
         got = [next(streams[1]) for _ in range(6)]
         assert [chunk.addresses[0] for chunk in got] == [i * 8 * 8 for i in range(6)]
 
+    def test_slow_consumer_bounds_the_buffer(self):
+        produced = {"n": 0}
+
+        def src():
+            for chunk in _chunks(10):
+                produced["n"] += 1
+                yield chunk
+
+        streams = fanout_chunks(src(), 2, depth=2)
+        next(streams[0])
+        next(streams[0])
+        # The tee generated exactly the depth window: the idle consumer
+        # holds generation back instead of letting the buffer grow.
+        assert produced["n"] == 2
+        with pytest.raises(RuntimeError, match="chunks ahead"):
+            next(streams[0])
+        assert produced["n"] == 2
+
+    def test_closed_consumer_releases_backpressure(self):
+        streams = fanout_chunks(_chunks(6), 2, depth=1)
+        next(streams[0])  # at the depth bound: one more pull would raise
+        streams[1].close()  # the idle consumer leaves the tee
+        got = [chunk.addresses[0] for chunk in streams[0]]
+        assert got == [i * 8 * 8 for i in range(1, 6)]
+
+    def test_last_consumer_close_drops_buffer_and_closes_upstream(self):
+        closed = {"flag": False}
+
+        def src():
+            try:
+                yield from _chunks(10)
+            finally:
+                closed["flag"] = True
+
+        streams = fanout_chunks(src(), 2, depth=2)
+        next(streams[0])
+        next(streams[1])
+        streams[0].close()
+        assert not closed["flag"]  # one consumer still live
+        streams[1].close()
+        assert closed["flag"]
+
+    def test_exhausting_all_consumers_closes_upstream(self):
+        closed = {"flag": False}
+
+        def src():
+            try:
+                yield from _chunks(3)
+            finally:
+                closed["flag"] = True
+
+        streams = fanout_chunks(src(), 2, depth=1)
+        for _ in zip(*streams):
+            pass
+        assert closed["flag"]
+
+    def test_closing_consumers_stops_prefetch_thread(self):
+        import threading
+
+        from repro.trace.stream import prefetch_chunks
+
+        streams = fanout_chunks(prefetch_chunks(_chunks(50)), 2, depth=2)
+        next(streams[0])
+        next(streams[1])
+        for s in streams:
+            s.close()
+        # Closing the last consumer closes the prefetch generator, whose
+        # cleanup joins the producer thread — nothing is left running.
+        assert not any(
+            t.name == "repro-trace-producer" and t.is_alive()
+            for t in threading.enumerate()
+        )
+
     def test_run_stream_multi_matches_run_stream(self):
         def hierarchy():
             return Hierarchy([Cache("L", CacheGeometry(4 * LINE, LINE, 4))])

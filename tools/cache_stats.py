@@ -2,12 +2,16 @@
 """Report on-disk simulation-cache occupancy (``.repro_cache/``).
 
 Prints entry count, total bytes against the configured cap
-(``REPRO_CACHE_MAX_BYTES``, default 2 GB), and the age spread of the
-LRU order the size cap evicts in::
+(``REPRO_CACHE_MAX_BYTES``, default 2 GB), live cross-process claim
+files, and the age spread of the LRU order the size cap evicts in::
 
     PYTHONPATH=src python tools/cache_stats.py
     PYTHONPATH=src python tools/cache_stats.py --dir /tmp/cache --evict
+    PYTHONPATH=src python tools/cache_stats.py --json
 
+``--json`` emits the same numbers as one machine-readable object (the
+exact block the service's stats endpoint reports as ``disk_cache`` —
+both come from :func:`repro.machine.engine.simcache.disk_report`).
 ``--evict`` additionally runs one eviction sweep (what a capped put
 does) and reports what it removed.  Exits 0 always; an absent directory
 is just an empty cache.
@@ -16,15 +20,19 @@ is just an empty cache.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from pathlib import Path
 
 _ROOT = Path(__file__).resolve().parent.parent
 if not any((Path(p) / "repro").is_dir() for p in sys.path if p):
     sys.path.insert(0, str(_ROOT / "src"))
 
-from repro.machine.engine.simcache import DEFAULT_DIR, SimulationCache  # noqa: E402
+from repro.machine.engine.simcache import (  # noqa: E402
+    DEFAULT_DIR,
+    SimulationCache,
+    disk_report,
+)
 
 
 def _human(n: float) -> str:
@@ -47,36 +55,53 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run one LRU eviction sweep against the configured cap",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON object instead of text",
+    )
     args = parser.parse_args(argv)
 
     cache = SimulationCache(args.dir)
-    entries = cache.disk_entries()
-    total = sum(size for _, size, _ in entries)
-    cap = cache.max_bytes
+    report = disk_report(cache)
+    assert report is not None  # a directory was given
 
-    print(f"cache directory: {cache.directory}")
-    print(f"entries: {len(entries)}")
-    cap_text = _human(cap) if cap else "unlimited"
-    used = f" ({total / cap:.1%} of cap)" if cap else ""
-    print(f"size: {_human(total)} / {cap_text}{used}")
-    if entries:
-        now = time.time()
-        ages = sorted(now - mtime for _, _, mtime in entries)
-        print(
-            f"age: newest {ages[0] / 60:.1f} min, "
-            f"median {ages[len(ages) // 2] / 60:.1f} min, "
-            f"oldest {ages[-1] / 60:.1f} min"
-        )
-        sizes = sorted(size for _, size, _ in entries)
-        print(
-            f"entry size: min {_human(sizes[0])}, "
-            f"median {_human(sizes[len(sizes) // 2])}, "
-            f"max {_human(sizes[-1])}"
-        )
+    evicted = None
     if args.evict:
-        removed = cache.evict()
-        after = sum(size for _, size, _ in cache.disk_entries())
-        print(f"evicted: {removed} entries ({_human(total - after)} freed)")
+        before = report["total_bytes"]
+        evicted = cache.evict()
+        report = disk_report(cache)
+        report["evicted_entries"] = evicted
+        report["evicted_bytes"] = before - report["total_bytes"]
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+
+    cap = report["max_bytes"]
+    print(f"cache directory: {report['directory']}")
+    print(f"entries: {report['entries']}")
+    cap_text = _human(cap) if cap else "unlimited"
+    used = f" ({report['total_bytes'] / cap:.1%} of cap)" if cap else ""
+    print(f"size: {_human(report['total_bytes'])} / {cap_text}{used}")
+    if report["live_claims"]:
+        print(f"live claims: {report['live_claims']} (in-flight simulations)")
+    if report["entries"]:
+        print(
+            f"age: newest {report['age_newest_s'] / 60:.1f} min, "
+            f"median {report['age_median_s'] / 60:.1f} min, "
+            f"oldest {report['age_oldest_s'] / 60:.1f} min"
+        )
+        print(
+            f"entry size: min {_human(report['entry_min_bytes'])}, "
+            f"median {_human(report['entry_median_bytes'])}, "
+            f"max {_human(report['entry_max_bytes'])}"
+        )
+    if evicted is not None:
+        print(
+            f"evicted: {report['evicted_entries']} entries "
+            f"({_human(report['evicted_bytes'])} freed)"
+        )
     return 0
 
 
