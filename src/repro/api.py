@@ -147,6 +147,7 @@ def simulate(
     passes: int = 1,
     warmup_passes: int = 0,
     shards: int | None = None,
+    cores: int | None = None,
 ) -> SimulationResult:
     """Run ``program`` through the simulated ``machine`` and measure it.
 
@@ -154,6 +155,9 @@ def simulate(
     model (:func:`repro.interp.executor.execute`).  ``shards`` runs the
     set-sharded parallel simulation (bit-identical counters; falls back
     to serial when the hierarchy cannot be partitioned exactly).
+    ``cores`` prices the run's traffic under multicore contention
+    (:mod:`repro.machine.contention`); 1 — the default — is the paper's
+    uncontended model, bit-identical to omitting the argument.
     """
     run = execute(
         program,
@@ -163,6 +167,7 @@ def simulate(
         passes=passes,
         warmup_passes=warmup_passes,
         shards=shards,
+        cores=cores,
     )
     return SimulationResult(
         program=run.program,
@@ -191,6 +196,7 @@ def simulate_stream(
     chunk_accesses: int | None = None,
     overlap: bool = True,
     shards: int | None = None,
+    cores: int | None = None,
 ) -> SimulationResult:
     """:func:`simulate` with the streaming trace pipeline: the access
     trace is generated in bounded chunks fused with hierarchy simulation
@@ -209,6 +215,7 @@ def simulate_stream(
         stream="overlap" if overlap else "serial",
         chunk_accesses=chunk_accesses,
         shards=shards,
+        cores=cores,
     )
     return SimulationResult(
         program=run.program,
@@ -280,14 +287,16 @@ def predict(
     *,
     params: Mapping[str, int] | None = None,
     passes: int = 1,
+    cores: int | None = None,
 ) -> SimulationResult:
     """:func:`simulate`'s analytic counterpart: the same summary, derived
     from the loop IR + cache geometry alone (no trace, O(1) in problem
     size).  Wraps :func:`repro.balance.analytic.predict_run`; see that
     module for the model and its documented error bands.  ``run`` is the
-    predicted :class:`MachineRun` under the same timing models.
+    predicted :class:`MachineRun` under the same timing models, including
+    the contended overlay when ``cores`` (or the process default) > 1.
     """
-    run = predict_run(program, machine, params=params, passes=passes)
+    run = predict_run(program, machine, params=params, passes=passes, cores=cores)
     return SimulationResult(
         program=run.program,
         machine=machine.name,

@@ -64,6 +64,7 @@ from ..lang.expr import ArrayRef, array_refs, flop_count
 from ..lang.program import Program
 from ..lang.stmt import Assign, ExternalRead, If, Loop, Stmt
 from ..machine.cache import CacheStats
+from ..machine.contention import maybe_contended
 from ..machine.layout import LayoutPolicy, MemoryLayout, build_layout
 from ..machine.spec import MachineSpec
 from ..machine.timing import (
@@ -672,9 +673,12 @@ class AnalyticEstimate:
             downstream_bytes=self.downstream_bytes,
         )
 
-    def run(self) -> MachineRun:
+    def run(self, cores: int | None = None) -> MachineRun:
         """A drop-in :class:`MachineRun` under the same timing models the
-        executor applies to simulated counters."""
+        executor applies to simulated counters — including the contended
+        overlay (:mod:`repro.machine.contention`) when ``cores`` (or the
+        process default) is > 1, so ``--predict`` sweeps price the shared
+        channel through the identical arithmetic."""
         counters = self.counters()
         time = bandwidth_bound_time(
             self.machine, self.flops, counters.register_bytes, self.downstream_bytes
@@ -689,6 +693,13 @@ class AnalyticEstimate:
             misses,
             4,
         )
+        contended = maybe_contended(
+            self.machine,
+            self.flops,
+            counters.register_bytes,
+            self.downstream_bytes,
+            cores,
+        )
         return MachineRun(
             program=self.program,
             machine=self.machine,
@@ -697,6 +708,7 @@ class AnalyticEstimate:
             time=time,
             latency_time=lat,
             overlap4_time=ov4,
+            contended=contended,
         )
 
 
@@ -764,6 +776,7 @@ def predict_run(
     layout: MemoryLayout | None = None,
     layout_policy: LayoutPolicy | None = None,
     passes: int = 1,
+    cores: int | None = None,
 ) -> MachineRun:
     """Convenience: :func:`analyze` materialized as a ``MachineRun``."""
     return analyze(
@@ -773,4 +786,4 @@ def predict_run(
         layout=layout,
         layout_policy=layout_policy,
         passes=passes,
-    ).run()
+    ).run(cores)

@@ -43,6 +43,7 @@ class ExperimentConfig:
     spot_check: float = 0.05  # fraction of predicted points simulated exactly
     predict_tolerance: float = 0.10  # max per-channel byte error before fallback
     plan: bool = False  # sweep query planner for batched points (see plan.py)
+    cores: int = 1  # contended timing across N cores (1 = the paper's model)
 
     def apply(self) -> None:
         """Install this config's engine and sim-cache settings as the
@@ -53,6 +54,7 @@ class ExperimentConfig:
         cache is left alone so its in-memory memo survives across the
         experiments of one serial battery."""
         from ..interp.executor import configure_streaming
+        from ..machine.contention import configure_cores
         from ..machine.engine import set_default_engine
         from ..machine.engine.sharded import configure_sharding
         from ..machine.engine.simcache import configure_sim_cache, get_sim_cache
@@ -62,6 +64,7 @@ class ExperimentConfig:
         set_default_engine(self.engine)
         configure_streaming(self.stream, self.chunk_accesses)
         configure_sharding(self.shards)
+        configure_cores(self.cores)
         configure_predict(self.predict, self.spot_check, self.predict_tolerance)
         configure_plan(self.plan)
         current = get_sim_cache()

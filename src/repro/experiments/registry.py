@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from .contention import run_contention
 from .e9_npcomplete import run_e9
 from .e10_blocking import run_e10
 from .e11_sp_utilization import run_e11
@@ -47,4 +48,5 @@ EXPERIMENTS: Dict[str, Callable] = {
     "e17": run_e17,
     "e18": run_e18,
     "ladder": run_ladder,
+    "contention": run_contention,
 }

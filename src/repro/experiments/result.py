@@ -23,6 +23,10 @@ import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping, Sequence
 
+from ..machine.contention import (
+    collect_contention_telemetry,
+    summarize_contention,
+)
 from ..machine.engine.sharded import collect_shard_telemetry, summarize_shards
 from ..machine.engine.simcache import get_sim_cache
 from ..machine.engine.telemetry import collect_sim_telemetry, summarize_levels
@@ -54,8 +58,11 @@ from .report import Table
 #: v7 added the manifest-level ``service`` block (queue/batch/dedup and
 #: latency telemetry when a battery ran under ``repro serve``), the
 #: ``cancelled`` status (tasks drained by SIGTERM before starting), and
-#: the cross-process claim counters in ``sim_cache``.
-SCHEMA_VERSION = 7
+#: the cross-process claim counters in ``sim_cache``.  v8 added
+#: ``contention`` (multicore contended-timing telemetry: cores,
+#: per-channel saturation and balance-gap delta vs. one core, clamp
+#: fallbacks) and the ``cores`` config knob.
+SCHEMA_VERSION = 8
 
 #: Result statuses the orchestrator can record.
 STATUSES = ("ok", "failed", "timeout", "cancelled")
@@ -91,6 +98,7 @@ class ExperimentResult:
     shards: dict[str, Any] = field(default_factory=dict)
     analytic: dict[str, Any] = field(default_factory=dict)
     plan: dict[str, Any] = field(default_factory=dict)
+    contention: dict[str, Any] = field(default_factory=dict)
     detail: Any = None
 
     # -- rendering -----------------------------------------------------------
@@ -138,6 +146,7 @@ class ExperimentResult:
             "shards": dict(self.shards),
             "analytic": dict(self.analytic),
             "plan": dict(self.plan),
+            "contention": dict(self.contention),
         }
 
     @classmethod
@@ -162,6 +171,7 @@ class ExperimentResult:
             shards=dict(data.get("shards", {})),
             analytic=dict(data.get("analytic", {})),
             plan=dict(data.get("plan", {})),
+            contention=dict(data.get("contention", {})),
         )
 
     def comparable_json(self) -> dict[str, Any]:
@@ -177,6 +187,7 @@ class ExperimentResult:
         data.pop("shards")  # worker busy seconds are wall-clock
         data.pop("analytic")  # predicted cells differ from simulated ones
         data.pop("plan")  # planned and pointwise runs must compare equal
+        data.pop("contention")  # per-core splits differ sharded vs. cached
         data.pop("attempts")
         volatile = {
             i for i, h in enumerate(self.headers) if h in self.volatile_columns
@@ -293,6 +304,7 @@ def experiment(
                 collect_shard_telemetry() as shard_tel,
                 collect_analytic_telemetry() as predict_tel,
                 collect_plan_telemetry() as plan_tel,
+                collect_contention_telemetry() as contention_tel,
             ):
                 detail = fn(*args, **kwargs)
             total = time.perf_counter() - start
@@ -330,6 +342,7 @@ def experiment(
                 shards=summarize_shards(shard_tel),
                 analytic=summarize_analytic(predict_tel),
                 plan=summarize_plan(plan_tel),
+                contention=summarize_contention(contention_tel),
                 detail=detail,
             )
 

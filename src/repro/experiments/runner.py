@@ -109,6 +109,25 @@ def _shards_suffix(result: ExperimentResult) -> str:
     return f", shards {sh.get('requested')} fell back to serial"
 
 
+def _contention_suffix(result: ExperimentResult) -> str:
+    """Contended-timing accounting, when a core count > 1 was in effect."""
+    ct = result.contention
+    if not ct:
+        return ""
+    if ct.get("runs"):
+        note = f", {ct.get('cores')} cores"
+        mem = next(
+            (c for c in reversed(ct.get("channels", [])) if c.get("balance_gap", 1.0) > 1.0),
+            None,
+        )
+        if mem:
+            note += f" ({mem['name']} gap {mem['balance_gap']:.2f}x)"
+        if ct.get("fallback_runs"):
+            note += f", {ct['fallback_runs']} clamp(s)"
+        return note
+    return f", cores clamped: {ct.get('fallback_reason', '')}"
+
+
 def _analytic_suffix(result: ExperimentResult) -> str:
     """Predict-then-verify accounting, when the analytic fast path ran."""
     an = result.analytic
@@ -179,8 +198,8 @@ def _print_result(result: ExperimentResult, label: str, charts: bool) -> None:
     total = result.timings.get("total", 0.0)
     print(f"[{label}: {total:.1f}s{_sim_counters_suffix(result)}"
           f"{_sim_levels_suffix(result)}{_shards_suffix(result)}"
-          f"{_analytic_suffix(result)}{_plan_suffix(result)}"
-          f"{_memory_suffix(result)}]")
+          f"{_contention_suffix(result)}{_analytic_suffix(result)}"
+          f"{_plan_suffix(result)}{_memory_suffix(result)}]")
     print()
 
 
@@ -250,6 +269,16 @@ def main(argv: list[str] | None = None) -> int:
         "(default: 1 = serial; composes with --jobs and --stream; falls "
         "back to serial when the hierarchy's set counts cannot be "
         "partitioned exactly)",
+    )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        default=1,
+        metavar="N",
+        help="contended timing across N cores sharing the machine's "
+        "bandwidth ceilings (default: 1 = the paper's uncontended model, "
+        "bit-identical to omitting the flag; requests above a machine's "
+        "core count clamp with a telemetry flag)",
     )
     parser.add_argument(
         "--predict",
@@ -323,6 +352,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--jobs must be >= 1")
     if args.shards < 1:
         parser.error("--shards must be >= 1")
+    if args.cores < 1:
+        parser.error("--cores must be >= 1")
     if args.chunk_accesses is not None and args.chunk_accesses <= 0:
         parser.error("--chunk-accesses must be positive")
     if not 0.0 < args.spot_check <= 1.0:
@@ -343,6 +374,7 @@ def main(argv: list[str] | None = None) -> int:
         spot_check=args.spot_check,
         predict_tolerance=args.predict_tolerance,
         plan=args.plan,
+        cores=args.cores,
     )
     base_cfg.apply()  # in-process runs simulate in this process
 
@@ -358,6 +390,7 @@ def main(argv: list[str] | None = None) -> int:
     mode = "in-process serial" if not options.use_processes else f"{args.jobs} worker(s)"
     pipeline = "streamed" if args.stream else "materialized"
     sharding = "serial" if args.shards == 1 else f"{args.shards} shard workers"
+    timing = "1 core" if args.cores == 1 else f"contended, {args.cores} cores"
     predicting = (
         f"analytic ({args.spot_check:.0%} spot check, "
         f"tol {args.predict_tolerance:.0%})"
@@ -367,7 +400,8 @@ def main(argv: list[str] | None = None) -> int:
     planning = "planned (shared-work batches)" if args.plan else "pointwise"
     print(f"engine: {args.engine}, sim cache: {cache_desc}, "
           f"trace pipeline: {pipeline}, simulation: {sharding}, "
-          f"sweep points: {predicting}, batches: {planning}, mode: {mode}\n")
+          f"timing: {timing}, sweep points: {predicting}, "
+          f"batches: {planning}, mode: {mode}\n")
 
     # Graceful drain: SIGTERM lets in-flight experiments finish, cancels
     # the rest, and still writes the manifest (exit code flags the gap).

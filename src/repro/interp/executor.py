@@ -21,7 +21,15 @@ from ..machine.engine.simcache import (
     machine_signature,
     simulation_key,
 )
-from ..machine.engine.sharded import build_hierarchy
+from ..machine.contention import (
+    ContendedBreakdown,
+    contended_time,
+    maybe_contended,
+    record_contention,
+    resolve_cores,
+    works_from_shards,
+)
+from ..machine.engine.sharded import ShardedHierarchy, build_hierarchy
 from ..machine.layout import LayoutPolicy, MemoryLayout, build_layout
 from ..machine.spec import MachineSpec
 from ..machine.timing import (
@@ -40,7 +48,15 @@ from .counters import HardwareCounters
 
 @dataclass(frozen=True)
 class MachineRun:
-    """Everything measured from one simulated execution."""
+    """Everything measured from one simulated execution.
+
+    ``time`` is always the single-core bandwidth-bound breakdown (the
+    paper's model, bit-identical at any core count); ``contended`` is the
+    N-core overlay when the process runs with ``cores > 1`` (see
+    :mod:`repro.machine.contention`) and ``None`` otherwise.  Every
+    derived quantity (``seconds``, ``effective_bandwidth``, ``mflops``,
+    ``cpu_utilization``) follows the contended breakdown when present.
+    """
 
     program: str
     machine: MachineSpec
@@ -49,11 +65,19 @@ class MachineRun:
     time: TimeBreakdown
     latency_time: float
     overlap4_time: float
+    contended: ContendedBreakdown | None = None
+
+    @property
+    def effective_time(self) -> TimeBreakdown:
+        """The breakdown that governs this run: contended when a core
+        count is in effect, the plain bandwidth bound otherwise."""
+        return self.contended if self.contended is not None else self.time
 
     @property
     def seconds(self) -> float:
-        """Simulated execution time under the bandwidth-bound model."""
-        return self.time.total
+        """Simulated execution time under the bandwidth-bound model
+        (contended when ``cores > 1``)."""
+        return self.effective_time.total
 
     @property
     def effective_bandwidth(self) -> float:
@@ -67,12 +91,13 @@ class MachineRun:
 
     @property
     def cpu_utilization(self) -> float:
-        return self.time.cpu_utilization
+        return self.effective_time.cpu_utilization
 
     def describe(self) -> str:
+        cores = f", {self.contended.cores} cores" if self.contended else ""
         return (
             f"{self.program} on {self.machine.name}: {self.seconds * 1e3:.3f} ms "
-            f"(bound: {self.time.bound}, {self.mflops:.1f} Mflop/s, "
+            f"(bound: {self.effective_time.bound}{cores}, {self.mflops:.1f} Mflop/s, "
             f"effective mem bw {self.effective_bandwidth / 1e6:.1f} MB/s)"
         )
 
@@ -125,6 +150,7 @@ def execute(
     stream: bool | str | None = None,
     chunk_accesses: int | None = None,
     shards: int | None = None,
+    cores: int | None = None,
 ) -> MachineRun:
     """Run ``program`` on ``machine`` and measure it.
 
@@ -159,6 +185,13 @@ def execute(
             process default (:func:`configure_sharding`), 1 is serial;
             an infeasible request falls back to serial with a telemetry
             flag.  Counters are bit-identical at any shard count.
+        cores: contended timing across N cores sharing the machine's
+            bandwidth ceilings (see :mod:`repro.machine.contention`).
+            ``None`` uses the process default (:func:`configure_cores`);
+            1 is the paper's uncontended model, bit-identical to not
+            passing the flag at all.  A request above ``machine.cores``
+            clamps with a telemetry flag.  Counters are unaffected —
+            contention reprices the same traffic.
     """
     if stream is None:
         stream = _stream_default
@@ -170,6 +203,7 @@ def execute(
         chunk_accesses = _chunk_accesses_default
     if shards is not None and shards < 1:
         raise ExecutionError(f"shards must be >= 1, got {shards}")
+    eff_cores = resolve_cores(machine, cores)
     bound = program.bind_params(params)
     if layout is None:
         layout = build_layout(program, bound, layout_policy or machine.default_layout)
@@ -205,6 +239,7 @@ def execute(
                 if cached is None:
                     claimed = memo.claim(key)
 
+    shard_snapshots = None
     try:
         if cached is not None:
             result = cached.result
@@ -214,19 +249,22 @@ def execute(
                 cached.stores,
             )
         elif stream:
-            result, trace_flops, trace_loads, trace_stores = _execute_streamed(
-                program,
-                machine,
-                bound,
-                layout,
-                validate,
-                engine,
-                passes,
-                warmup_passes,
-                flush,
-                stream,
-                chunk_accesses,
-                shards,
+            result, trace_flops, trace_loads, trace_stores, shard_snapshots = (
+                _execute_streamed(
+                    program,
+                    machine,
+                    bound,
+                    layout,
+                    validate,
+                    engine,
+                    passes,
+                    warmup_passes,
+                    flush,
+                    stream,
+                    chunk_accesses,
+                    shards,
+                    capture_shards=eff_cores > 1,
+                )
             )
         else:
             with phase(TRACE_GEN):
@@ -249,6 +287,8 @@ def execute(
                     if flush:
                         hierarchy.flush()
                     result = hierarchy.result()
+                    if eff_cores > 1 and isinstance(hierarchy, ShardedHierarchy):
+                        shard_snapshots = hierarchy.shard_results()
                 finally:
                     hierarchy.close()
             trace_flops, trace_loads, trace_stores = (
@@ -268,7 +308,7 @@ def execute(
         if claimed:
             memo.release(key)
 
-    return assemble_run(
+    run = assemble_run(
         program.name,
         machine,
         bound,
@@ -277,7 +317,22 @@ def execute(
         trace_loads,
         trace_stores,
         passes,
+        cores=eff_cores,
     )
+    if (
+        run.contended is not None
+        and shard_snapshots
+        and len(shard_snapshots) == run.contended.cores
+    ):
+        # Each shard's counters become one core's traffic: the telemetry
+        # block then carries the honest per-core imbalance.  The
+        # manifest-visible timing stays the even split of the merged
+        # counters so sim-cache hits and cold runs agree bit-for-bit.
+        works = works_from_shards(
+            shard_snapshots, run.counters.graduated_flops, run.counters.register_bytes
+        )
+        record_contention(machine, contended_time(machine, works), source="shards")
+    return run
 
 
 def assemble_run(
@@ -289,12 +344,14 @@ def assemble_run(
     trace_loads: int,
     trace_stores: int,
     passes: int,
+    cores: int | None = None,
 ) -> MachineRun:
     """Turn raw simulation counters into a :class:`MachineRun`.
 
     Shared by :func:`execute` and the sweep planner
     (:mod:`repro.experiments.plan`) so a planned point and a pointwise
-    run go through byte-identical timing-model arithmetic.
+    run go through byte-identical timing-model arithmetic.  ``cores``
+    (None = process default) adds the contended overlay when > 1.
     """
     flops = trace_flops * passes
     loads = trace_loads * passes
@@ -315,6 +372,9 @@ def assemble_run(
     ov4 = overlap_time(
         machine, flops, counters.register_bytes, result.downstream_bytes, misses, 4
     )
+    contended = maybe_contended(
+        machine, flops, counters.register_bytes, result.downstream_bytes, cores
+    )
     return MachineRun(
         program=program_name,
         machine=machine,
@@ -323,6 +383,7 @@ def assemble_run(
         time=time,
         latency_time=lat,
         overlap4_time=ov4,
+        contended=contended,
     )
 
 
@@ -353,11 +414,14 @@ def _execute_streamed(
     stream: bool | str,
     chunk_accesses: int | None,
     shards: int | None = None,
+    capture_shards: bool = False,
 ):
     """Chunked-generation pipeline: each pass regenerates the chunk
     stream and fuses it with hierarchy simulation, so peak memory is
-    O(chunk), never O(trace).  Returns (result, flops, loads, stores)
-    for one pass, exactly like the materialized path."""
+    O(chunk), never O(trace).  Returns (result, flops, loads, stores,
+    shard_snapshots) for one pass, exactly like the materialized path
+    (``shard_snapshots`` is None unless ``capture_shards`` and the run
+    was sharded — contended timing maps them onto cores)."""
     with phase(TRACE_GEN):
         gen = TraceGenerator(program, bound, layout, validate=validate)
     # Built (and, when sharded, forked) before the prefetch thread below
@@ -390,6 +454,12 @@ def _execute_streamed(
             with phase(SIMULATE):
                 hierarchy.flush()
         trace_telemetry.record_trace_bytes(totals.accesses * 9)
-        return hierarchy.result(), totals.flops, totals.loads, totals.stores
+        result = hierarchy.result()
+        snapshots = (
+            hierarchy.shard_results()
+            if capture_shards and isinstance(hierarchy, ShardedHierarchy)
+            else None
+        )
+        return result, totals.flops, totals.loads, totals.stores, snapshots
     finally:
         hierarchy.close()

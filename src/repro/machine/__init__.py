@@ -14,11 +14,31 @@ from .engine import (
     set_default_engine,
 )
 from .engine.simcache import SimulationCache, configure_sim_cache, get_sim_cache
+from .contention import (
+    ContendedBreakdown,
+    CoreWork,
+    configure_cores,
+    contended_balance,
+    contended_bound_time,
+    contended_time,
+    get_default_cores,
+    machine_balance_at,
+    split_work,
+    works_from_shards,
+)
 from .hierarchy import Hierarchy, HierarchyResult
 from .layout import ArrayPlacement, LayoutPolicy, MemoryLayout, build_layout
 from .opt_cache import OptResult, lru_vs_opt, simulate_opt
-from .presets import PRESETS, exemplar, future_machine, origin2000
-from .spec import CacheLevelSpec, MachineSpec
+from .presets import (
+    PRESETS,
+    ddr_multicore,
+    exemplar,
+    future_machine,
+    future_multicore,
+    hbm_multicore,
+    origin2000,
+)
+from .spec import CacheLevelSpec, ChannelContention, MachineSpec, SaturationCurve
 from .three_c import MissClassification, classify_misses
 from .timing import TimeBreakdown, bandwidth_bound_time, latency_bound_time, overlap_time
 
@@ -28,6 +48,9 @@ __all__ = [
     "CacheGeometry",
     "CacheLevelSpec",
     "CacheStats",
+    "ChannelContention",
+    "ContendedBreakdown",
+    "CoreWork",
     "DirectMappedEngine",
     "ENGINES",
     "Hierarchy",
@@ -39,6 +62,7 @@ __all__ = [
     "MemoryLayout",
     "OptResult",
     "PRESETS",
+    "SaturationCurve",
     "SetAssociativeEngine",
     "SimulationCache",
     "StackDistanceEngine",
@@ -46,13 +70,22 @@ __all__ = [
     "bandwidth_bound_time",
     "build_layout",
     "classify_misses",
+    "configure_cores",
     "configure_sim_cache",
+    "contended_balance",
+    "contended_bound_time",
+    "contended_time",
+    "ddr_multicore",
     "exemplar",
     "future_machine",
+    "future_multicore",
+    "get_default_cores",
     "get_default_engine",
     "get_sim_cache",
+    "hbm_multicore",
     "latency_bound_time",
     "lru_vs_opt",
+    "machine_balance_at",
     "make_cache",
     "miss_curve",
     "origin2000",
@@ -60,4 +93,6 @@ __all__ = [
     "select_engine",
     "set_default_engine",
     "simulate_opt",
+    "split_work",
+    "works_from_shards",
 ]

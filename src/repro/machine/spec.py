@@ -17,6 +17,148 @@ from .layout import LayoutPolicy
 
 
 @dataclass(frozen=True)
+class SaturationCurve:
+    """``s(n)``: how the *aggregate* bandwidth drawn from one shared channel
+    grows with the number of cores driving it.
+
+    ``multiplier(n)`` returns the aggregate multiplier relative to a single
+    core; :class:`ChannelContention` caps the result at the channel's
+    ceiling.  Three shapes cover the multicore-ECM literature (Afzal et
+    al., PAPERS.md):
+
+    * ``linear`` — perfect scaling until the ceiling cuts it off (the
+      classic saturation point ``n_sat = ceiling / single``);
+    * ``power`` — ``n**alpha`` with ``0 < alpha <= 1``, a smooth
+      diminishing-returns curve;
+    * ``table`` — measured multipliers ``table[n-1]``, flat beyond the
+      last entry.
+
+    Every shape satisfies ``multiplier(1) == 1.0`` exactly, so one core
+    always sees the uncontended channel — the ``n=1`` reduction the
+    differential tests pin down bit-for-bit.  Shapes are validated to be
+    concave in the weak-scaling sense (aggregate non-decreasing, per-core
+    share non-increasing), which makes contended time monotone in the
+    core count.
+    """
+
+    kind: str = "linear"  # "linear" | "power" | "table"
+    alpha: float = 1.0  # exponent for kind="power"
+    table: tuple[float, ...] = ()  # aggregate multipliers for kind="table"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("linear", "power", "table"):
+            raise MachineError(
+                f"saturation curve kind must be linear/power/table, got {self.kind!r}"
+            )
+        if self.kind == "power" and not 0.0 < self.alpha <= 1.0:
+            raise MachineError(
+                f"power curve needs 0 < alpha <= 1, got {self.alpha}"
+            )
+        if self.kind == "table":
+            if not self.table or self.table[0] != 1.0:
+                raise MachineError("table curve must start at 1.0 (one core)")
+            for i in range(1, len(self.table)):
+                prev, cur = self.table[i - 1], self.table[i]
+                if cur < prev:
+                    raise MachineError(
+                        "table curve must be non-decreasing (aggregate "
+                        "bandwidth cannot shrink with more cores)"
+                    )
+                if cur * i > prev * (i + 1):
+                    raise MachineError(
+                        "table curve must have non-increasing per-core "
+                        f"share: entry {i + 1} gives each core more than "
+                        f"entry {i}"
+                    )
+
+    def multiplier(self, n: int) -> float:
+        """Aggregate bandwidth multiplier for ``n`` cores (>= 1)."""
+        if n < 1:
+            raise MachineError(f"core count must be >= 1, got {n}")
+        if self.kind == "linear":
+            return float(n)
+        if self.kind == "power":
+            return float(n) ** self.alpha
+        return self.table[min(n, len(self.table)) - 1]
+
+    def to_json(self) -> dict[str, Any]:
+        return {"kind": self.kind, "alpha": self.alpha, "table": list(self.table)}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "SaturationCurve":
+        return cls(
+            kind=data.get("kind", "linear"),
+            alpha=float(data.get("alpha", 1.0)),
+            table=tuple(float(x) for x in data.get("table", ())),
+        )
+
+
+@dataclass(frozen=True)
+class ChannelContention:
+    """How one data channel is shared between cores.
+
+    ``sharers`` cores share each physical instance of the channel (1 =
+    fully private, ``machine.cores`` = one globally shared channel, e.g.
+    the memory bus).  The aggregate bandwidth ``sharers`` active cores can
+    draw is ``min(single * curve.multiplier(n), ceiling)`` — the
+    ``B_eff(n) = B_ceil * s(n)`` model of the multicore-ECM literature.
+    ``ceiling=None`` means the curve alone governs.
+    """
+
+    sharers: int = 1
+    ceiling: float | None = None  # aggregate bytes/s one instance sustains
+    curve: SaturationCurve = field(default_factory=SaturationCurve)
+
+    def __post_init__(self) -> None:
+        if self.sharers < 1:
+            raise MachineError(f"channel sharers must be >= 1, got {self.sharers}")
+        if self.ceiling is not None and self.ceiling <= 0:
+            raise MachineError("channel ceiling must be positive")
+
+    @property
+    def shared(self) -> bool:
+        return self.sharers > 1
+
+    def effective_bandwidth(self, single: float, cores: int) -> float:
+        """Aggregate bandwidth ``cores`` co-scheduled cores draw from one
+        instance.  ``cores=1`` returns ``single`` verbatim — the exact
+        single-core reduction, independent of curve arithmetic."""
+        if cores <= 1:
+            return single
+        raw = single * self.curve.multiplier(cores)
+        return min(raw, self.ceiling) if self.ceiling is not None else raw
+
+    def validate_for(self, name: str, single: float, machine_cores: int) -> None:
+        """Spec-level consistency: ceilings never undercut the single-core
+        bandwidth, sharers never exceed the machine's cores."""
+        if self.sharers > machine_cores:
+            raise MachineError(
+                f"{name}: {self.sharers} sharers on a {machine_cores}-core machine"
+            )
+        if self.ceiling is not None and self.ceiling < single:
+            raise MachineError(
+                f"{name}: ceiling {self.ceiling:g} below single-core "
+                f"bandwidth {single:g}"
+            )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "sharers": self.sharers,
+            "ceiling": self.ceiling,
+            "curve": self.curve.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "ChannelContention":
+        ceiling = data.get("ceiling")
+        return cls(
+            sharers=int(data.get("sharers", 1)),
+            ceiling=float(ceiling) if ceiling is not None else None,
+            curve=SaturationCurve.from_json(data.get("curve") or {}),
+        )
+
+
+@dataclass(frozen=True)
 class CacheLevelSpec:
     """One cache level plus the bandwidth/latency of the channel *below* it
     (towards memory): for L1 that is the L1↔L2 channel, for the last cache
@@ -26,6 +168,7 @@ class CacheLevelSpec:
     geometry: CacheGeometry
     downstream_bandwidth: float  # bytes/second
     downstream_latency: float  # seconds per line transfer (for latency model)
+    contention: ChannelContention = field(default_factory=ChannelContention)
 
     def __post_init__(self) -> None:
         if self.downstream_bandwidth <= 0:
@@ -43,6 +186,7 @@ class CacheLevelSpec:
             },
             "downstream_bandwidth": self.downstream_bandwidth,
             "downstream_latency": self.downstream_latency,
+            "contention": self.contention.to_json(),
         }
 
     @classmethod
@@ -57,6 +201,7 @@ class CacheLevelSpec:
             ),
             downstream_bandwidth=float(data["downstream_bandwidth"]),
             downstream_latency=float(data["downstream_latency"]),
+            contention=ChannelContention.from_json(data.get("contention") or {}),
         )
 
 
@@ -65,11 +210,13 @@ class MachineSpec:
     """A complete simulated machine."""
 
     name: str
-    peak_flops: float  # flops/second
-    register_bandwidth: float  # bytes/second between registers and L1
+    peak_flops: float  # flops/second, per core
+    register_bandwidth: float  # bytes/second between registers and L1, per core
     cache_levels: tuple[CacheLevelSpec, ...]
     default_layout: LayoutPolicy = field(default_factory=LayoutPolicy)
     register_latency: float = 0.0
+    cores: int = 1  # cores available for contended timing (1 = the paper's machines)
+    register_contention: ChannelContention = field(default_factory=ChannelContention)
 
     def __post_init__(self) -> None:
         if self.peak_flops <= 0:
@@ -78,6 +225,17 @@ class MachineSpec:
             raise MachineError("register bandwidth must be positive")
         if not self.cache_levels:
             raise MachineError("a machine needs at least one cache level")
+        if self.cores < 1:
+            raise MachineError(f"a machine needs at least one core, got {self.cores}")
+        self.register_contention.validate_for(
+            "register channel", self.register_bandwidth, self.cores
+        )
+        for lvl in self.cache_levels:
+            lvl.contention.validate_for(
+                f"{lvl.name} downstream channel",
+                lvl.downstream_bandwidth,
+                self.cores,
+            )
 
     # -- structure -----------------------------------------------------------
     @property
@@ -102,6 +260,13 @@ class MachineSpec:
         """Bandwidth per channel, same order as :attr:`level_names`."""
         return (self.register_bandwidth,) + tuple(
             lvl.downstream_bandwidth for lvl in self.cache_levels
+        )
+
+    @property
+    def channel_contention(self) -> tuple[ChannelContention, ...]:
+        """Per-channel sharing, same order as :attr:`level_names`."""
+        return (self.register_contention,) + tuple(
+            lvl.contention for lvl in self.cache_levels
         )
 
     @property
@@ -158,6 +323,8 @@ class MachineSpec:
             "register_latency": self.register_latency,
             "cache_levels": [lvl.to_json() for lvl in self.cache_levels],
             "default_layout": self.default_layout.to_json(),
+            "cores": self.cores,
+            "register_contention": self.register_contention.to_json(),
         }
 
     @classmethod
@@ -171,10 +338,15 @@ class MachineSpec:
             ),
             default_layout=LayoutPolicy.from_json(data.get("default_layout") or {}),
             register_latency=float(data.get("register_latency", 0.0)),
+            cores=int(data.get("cores", 1)),
+            register_contention=ChannelContention.from_json(
+                data.get("register_contention") or {}
+            ),
         )
 
     def describe(self) -> str:
-        lines = [f"{self.name}: peak {self.peak_flops / 1e6:.0f} Mflop/s"]
+        cores = f", {self.cores} cores" if self.cores > 1 else ""
+        lines = [f"{self.name}: peak {self.peak_flops / 1e6:.0f} Mflop/s per core{cores}"]
         for label, bw in zip(self.level_names, self.bandwidths):
             lines.append(f"  {label:>8}: {bw / 1e6:8.1f} MB/s  ({bw / self.peak_flops:.2f} B/flop)")
         for lvl in self.cache_levels:

@@ -51,9 +51,11 @@ class TimeBreakdown:
         """Fraction of CPU peak actually achievable: flop_time / total.
 
         The paper's bound: a program whose memory demand/supply ratio is R
-        can use at most 1/R of the CPU.
+        can use at most 1/R of the CPU.  A run with no flops and no
+        traffic has ``total == 0`` and uses none of the CPU — 0.0, not
+        the old 1.0 (which claimed full utilization for doing nothing).
         """
-        return self.flop_time / self.total if self.total > 0 else 1.0
+        return self.flop_time / self.total if self.total > 0 else 0.0
 
     def describe(self) -> str:
         rows = [f"{self.machine}: total {self.total * 1e3:.3f} ms (bound: {self.bound})"]

@@ -9,6 +9,8 @@ each case, so these are genuine discriminations, not trivial failures.)
 """
 
 
+import pytest
+
 from repro.lang import ProgramBuilder, parse, render
 from repro.transforms import is_equivalent, verify_equivalent
 
@@ -294,6 +296,143 @@ class TestShardMergeBugs:
         assert self._same(in_order, serial)  # hand partition is exact
         reversed_shard0 = replay(slice(None, None, -1))
         assert not self._same(reversed_shard0, serial)
+
+
+class TestContentionMergeBugs:
+    """Mutation tests for the contended-timing shard mapping.
+
+    When per-shard counters feed the contention telemetry
+    (``works_from_shards`` -> ``contended_time``), the oracle is traffic
+    conservation — the per-core works must account for exactly the
+    merged serial counters — plus the telemetry's per-channel saturation
+    values, which depend only on the spec's curves.  Each mutation below
+    is a bug the mapping could realistically have (a shard dropped, a
+    shard's traffic double-counted, the wrong saturation curve priced)
+    and each must be *rejected* by those asserts, while the correct
+    mapping is accepted.
+    """
+
+    SHARDS = 4
+
+    def _multicore(self, spec):
+        """``spec`` with 4 cores sharing the memory channel (power-law
+        saturation, 4x ceiling so the curve, not the cap, governs) — the
+        contended pricing target."""
+        from dataclasses import replace
+
+        from repro.machine.spec import ChannelContention, SaturationCurve
+
+        last = spec.cache_levels[-1]
+        shared = replace(
+            last,
+            contention=ChannelContention(
+                sharers=self.SHARDS,
+                ceiling=4 * last.downstream_bandwidth,
+                curve=SaturationCurve("power", alpha=0.5),
+            ),
+        )
+        return replace(
+            spec,
+            name=spec.name + "x4",
+            cores=self.SHARDS,
+            cache_levels=spec.cache_levels[:-1] + (shared,),
+        )
+
+    def _setup(self):
+        shard_bugs = TestShardMergeBugs()
+        spec, addrs, writes = shard_bugs._spec_and_trace()
+        serial = shard_bugs._serial_result(spec, addrs, writes)
+        snapshots = shard_bugs._shard_snapshots(spec, addrs, writes)
+        return self._multicore(spec), serial, snapshots
+
+    @staticmethod
+    def _conserves(works, serial) -> bool:
+        """The manifest-side oracle: per-core works must add up to the
+        merged serial traffic, level by level."""
+        per_level = [
+            sum(w.downstream_bytes[i] for w in works)
+            for i in range(len(serial.downstream_bytes))
+        ]
+        return per_level == list(serial.downstream_bytes)
+
+    def test_correct_shard_mapping_accepted(self):
+        from repro.machine.contention import contended_time, works_from_shards
+
+        mc, serial, snapshots = self._setup()
+        works = works_from_shards(snapshots, flops=4000, register_bytes=96_000)
+        assert self._conserves(works, serial)
+        breakdown = contended_time(mc, works)
+        assert breakdown.cores == self.SHARDS
+        # The shared channel saturates: sqrt(4)/4 = 0.5 per-core share.
+        assert breakdown.saturation[-1] == pytest.approx(0.5)
+        assert breakdown.balance_gap[-1] == pytest.approx(2.0)
+
+    def test_dropped_shard_counters_rejected(self):
+        from repro.machine.contention import works_from_shards
+
+        mc, serial, snapshots = self._setup()
+        works = works_from_shards(snapshots, flops=4000, register_bytes=96_000)
+        assert works[0].downstream_bytes[-1] > 0  # a real shard is lost
+        assert not self._conserves(works[1:], serial)
+
+    def test_double_counted_shard_traffic_rejected(self):
+        from repro.machine.contention import (
+            CoreWork,
+            contended_time,
+            works_from_shards,
+        )
+
+        mc, serial, snapshots = self._setup()
+        works = list(works_from_shards(snapshots, flops=4000, register_bytes=96_000))
+        honest = contended_time(mc, tuple(works))
+        first = works[0]
+        assert any(first.downstream_bytes)  # mutation must bite
+        works[0] = CoreWork(
+            first.flops,
+            first.register_bytes,
+            tuple(2 * b for b in first.downstream_bytes),
+        )
+        assert not self._conserves(works, serial)
+        # ... and the inflation is visible in the priced time, not just
+        # the byte audit: the shared channel carries phantom traffic.
+        mutated = contended_time(mc, tuple(works))
+        assert mutated.channel_times[-1] > honest.channel_times[-1]
+
+    def test_misassigned_saturation_curve_rejected(self):
+        """Pricing the shared channel with the wrong curve (perfect linear
+        scaling instead of the spec's sqrt law) must show up in the
+        telemetry: saturation and the contended channel time both move."""
+        from dataclasses import replace
+
+        from repro.machine.contention import contended_time, works_from_shards
+        from repro.machine.spec import ChannelContention, SaturationCurve
+
+        mc, serial, snapshots = self._setup()
+        works = works_from_shards(snapshots, flops=4000, register_bytes=96_000)
+        honest = contended_time(mc, works)
+
+        last = mc.cache_levels[-1]
+        wrong = replace(
+            mc,
+            cache_levels=mc.cache_levels[:-1]
+            + (
+                replace(
+                    last,
+                    contention=ChannelContention(
+                        sharers=self.SHARDS,
+                        ceiling=last.contention.ceiling,
+                        curve=SaturationCurve("linear"),
+                    ),
+                ),
+            ),
+        )
+        mutated = contended_time(wrong, works)
+        # linear would claim perfect scaling up to the ceiling ...
+        assert mutated.saturation[-1] > honest.saturation[-1]
+        # ... so the telemetry assert (saturation is spec-determined)
+        # and the priced channel time both reject the mis-assignment.
+        assert mutated.saturation[-1] != honest.saturation[-1]
+        assert mutated.channel_times[-1] < honest.channel_times[-1]
 
 
 class TestTilingBugs:

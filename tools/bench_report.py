@@ -546,6 +546,91 @@ def measure_serve(scale: int = 128, clients: int = 4, rounds: int = 2) -> dict:
     }
 
 
+# -- contention benchmark -----------------------------------------------------
+
+
+def measure_contention(scale: int = 128) -> dict:
+    """One BENCH_contention.json entry: the cores-sweep balance gap on the
+    multicore presets.  Before any number is recorded, cores=1 contended
+    timing is asserted bit-identical to the paper's
+    ``bandwidth_bound_time`` on every preset x paper workload (the
+    differential suite's anchor, re-run here against counters from the
+    real simulator).  ``cpus`` is recorded for provenance like every
+    trajectory, but contention is a *timing model* sweep — no host
+    parallelism is claimed."""
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.contention import _core_ladder
+    from repro.interp.executor import execute
+    from repro.machine.contention import contended_time, split_work
+    from repro.machine.presets import PRESETS
+    from repro.machine.timing import bandwidth_bound_time
+    from repro.programs import convolution, dmxpy
+    from repro.programs.kernels import make_kernel
+
+    cfg = ExperimentConfig(scale=scale)
+
+    def workloads(spec):
+        n = cfg.stream_elements(spec)
+        return [
+            ("convolution", convolution(n)),
+            ("dmxpy", dmxpy(n, 16)),
+            ("1w2r", make_kernel("1w2r", n)),
+        ]
+
+    identity_checks = 0
+    sweep = []
+    start = time.perf_counter()
+    for preset_name, factory in sorted(PRESETS.items()):
+        spec = factory(scale)
+        for wname, prog in workloads(spec):
+            run = execute(prog, spec, sim_cache=False)
+            flops = run.counters.graduated_flops
+            reg = run.counters.register_bytes
+            down = tuple(run.counters.downstream_bytes)
+            base = bandwidth_bound_time(spec, flops, reg, down)
+            cont = contended_time(spec, split_work(flops, reg, down, 1))
+            assert (
+                cont.flop_time == base.flop_time
+                and cont.channel_times == base.channel_times
+                and cont.total == base.total
+                and cont.bound == base.bound
+            ), f"{preset_name}:{wname}: cores=1 diverged from the paper model"
+            identity_checks += 1
+            if spec.cores > 1:
+                work = split_work(flops, reg, down, 1)[0]
+                gaps, utils = {}, {}
+                breakdown = cont
+                for n in _core_ladder(spec.cores):
+                    breakdown = contended_time(spec, (work,) * n)
+                    gaps[str(n)] = round(breakdown.balance_gap[-1], 3)
+                    utils[str(n)] = round(breakdown.cpu_utilization, 4)
+                sweep.append(
+                    {
+                        "machine": spec.name,
+                        "preset": preset_name,
+                        "workload": wname,
+                        "cores": spec.cores,
+                        "memory_gap": gaps,
+                        "cpu_utilization": utils,
+                        "bound_at_max": breakdown.bound,
+                    }
+                )
+    seconds = time.perf_counter() - start
+    return {
+        "date": datetime.date.today().isoformat(),
+        "commit": _git_commit(),
+        "cpus": _cpus(),
+        "scale": scale,
+        "identity_checks": identity_checks,
+        "seconds": round(seconds, 4),
+        "sweep": sweep,
+        "note": (
+            "weak scaling of the contended timing model over measured "
+            "counters; cpus is provenance, not a parallelism claim"
+        ),
+    }
+
+
 # -- analytic-predictor benchmark ---------------------------------------------
 
 
@@ -699,6 +784,12 @@ def main(argv=None) -> int:
         help="concurrent clients for --serve (default: %(default)s)",
     )
     parser.add_argument(
+        "--contention", action="store_true",
+        help="benchmark the multicore contended-timing sweep: assert cores=1 "
+        "bit-identity on every preset, then record the cores-sweep balance "
+        "gap (BENCH_contention.json)",
+    )
+    parser.add_argument(
         "--analytic", action="store_true",
         help="benchmark analytic sweep evaluation vs exact simulation on a "
         "fig1 scale sweep (BENCH_analytic.json)",
@@ -801,6 +892,33 @@ def main(argv=None) -> int:
               f"points, {entry['access_reduction']}x fewer simulated accesses, "
               f"dedup rate {entry['dedup_rate']:.0%}, "
               f"{entry['batches']} batches, {entry['cpus']} cpu(s))")
+        return 0
+
+    if args.contention:
+        path = Path(args.output or _ROOT / "BENCH_contention.json")
+        data = {"benchmark": "contention", "entries": []}
+        if path.exists():
+            data = json.loads(path.read_text())
+        if args.show:
+            for e in data["entries"]:
+                for s in e["sweep"]:
+                    top = str(s["cores"])
+                    print(f"{e['date']} {e.get('commit') or '-':>9} "
+                          f"{s['machine']:>10} {s['workload']:>12} "
+                          f"gap x{s['memory_gap'][top]:<7} "
+                          f"util {s['cpu_utilization'][top]:.4f} "
+                          f"@ {s['cores']} cores ({s['bound_at_max']})")
+            return 0
+        entry = measure_contention(scale=args.scale or 128)
+        data["entries"].append(entry)
+        path.write_text(json.dumps(data, indent=2) + "\n")
+        worst = max(
+            entry["sweep"], key=lambda s: s["memory_gap"][str(s["cores"])]
+        )
+        print(f"{path}: {entry['identity_checks']} cores=1 identity checks ok; "
+              f"worst memory gap x{worst['memory_gap'][str(worst['cores'])]} "
+              f"({worst['machine']}:{worst['workload']} at {worst['cores']} "
+              f"cores, {entry['cpus']} cpu(s))")
         return 0
 
     if args.analytic:
